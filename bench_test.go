@@ -1,0 +1,423 @@
+// Package bench is the benchmark harness that regenerates every
+// figure/table of the paper's evaluation (see DESIGN.md experiment
+// index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmark families:
+//
+//	BenchmarkFig7/*   — E1: per-network inference latency on the three
+//	                    CIM designs + the GPU baseline; the reported
+//	                    custom metrics ns/inference and speedup-vs-
+//	                    baseline are the Fig. 7 series.
+//	BenchmarkFig8/*   — E2: per-network energy; reported metric
+//	                    pJ/inference and norm-energy are the Fig. 8
+//	                    series.
+//	BenchmarkStep/*   — E5: single-array XNOR+Popcount step through the
+//	                    functional analog crossbar under both mappings.
+//	BenchmarkWDM/*    — E6: oPCM MMM throughput vs wavelength count.
+//	BenchmarkBitops/* — the software kernel floor (packed XNOR+popcount).
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/core"
+	"einsteinbarrier/internal/crossbar"
+	"einsteinbarrier/internal/device"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/eval"
+	"einsteinbarrier/internal/gpu"
+	"einsteinbarrier/internal/robust"
+	"einsteinbarrier/internal/sim"
+	"einsteinbarrier/internal/tensor"
+)
+
+// benchReport caches one full evaluation for the Fig. 7/8 benches.
+var benchReport *eval.Report
+
+func report(b *testing.B) *eval.Report {
+	b.Helper()
+	if benchReport == nil {
+		rep, err := eval.Run(eval.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchReport = rep
+	}
+	return benchReport
+}
+
+// BenchmarkFig7 regenerates the latency figure: for every network and
+// design, the simulator prices one inference; the emitted metrics are
+// the figure series.
+func BenchmarkFig7(b *testing.B) {
+	cfg := eval.DefaultConfig()
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := report(b)
+	for _, nr := range rep.SortedByName() {
+		model, err := bnn.NewModel(nr.Network, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+			d := d
+			b.Run(fmt.Sprintf("%s/%v", nr.Network, d), func(b *testing.B) {
+				var lat float64
+				for i := 0; i < b.N; i++ {
+					c, err := compiler.Compile(model, cfg.Arch, d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r, err := simulator.Run(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lat = r.LatencyNs
+				}
+				b.ReportMetric(lat, "ns/inference")
+				b.ReportMetric(nr.LatBaseline/lat, "speedup-vs-baseline")
+			})
+		}
+		b.Run(fmt.Sprintf("%s/Baseline-GPU", nr.Network), func(b *testing.B) {
+			g := gpu.DefaultModel()
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = g.InferenceLatencyNs(model)
+			}
+			b.ReportMetric(lat, "ns/inference")
+			b.ReportMetric(nr.LatBaseline/lat, "speedup-vs-baseline")
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates the energy figure.
+func BenchmarkFig8(b *testing.B) {
+	cfg := eval.DefaultConfig()
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := report(b)
+	for _, nr := range rep.SortedByName() {
+		model, err := bnn.NewModel(nr.Network, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+			d := d
+			b.Run(fmt.Sprintf("%s/%v", nr.Network, d), func(b *testing.B) {
+				var e float64
+				for i := 0; i < b.N; i++ {
+					c, err := compiler.Compile(model, cfg.Arch, d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r, err := simulator.Run(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					e = r.EnergyPJ()
+				}
+				b.ReportMetric(e, "pJ/inference")
+				b.ReportMetric(e/nr.EnergyBaseline, "norm-energy")
+			})
+		}
+	}
+}
+
+// BenchmarkStep regenerates E5: one XNOR+Popcount pass of an n×m layer
+// through the functional analog crossbar under each mapping — the §III
+// "n× fewer steps" microbenchmark, measured in real simulated work.
+func BenchmarkStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{16, 64, 128, 256} {
+		const m = 128
+		weights := bitops.NewMatrix(n, m)
+		for r := 0; r < n; r++ {
+			for c := 0; c < m; c++ {
+				weights.Set(r, c, rng.Intn(2) == 1)
+			}
+		}
+		x := bitops.NewVector(m)
+		for i := 0; i < m; i++ {
+			if rng.Intn(2) == 1 {
+				x.Set(i)
+			}
+		}
+		b.Run(fmt.Sprintf("TacitMap/n=%d", n), func(b *testing.B) {
+			cfg := crossbar.DefaultConfig(device.EPCM)
+			mapped, err := core.MapTacit(weights, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapped.Execute(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(mapped.Plan().SingleArrayStepsPerInput()), "array-steps")
+		})
+		b.Run(fmt.Sprintf("CustBinaryMap/n=%d", n), func(b *testing.B) {
+			mapped, err := core.MapCust(weights, crossbar.DefaultDiffConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapped.Execute(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(mapped.Plan().SingleArrayStepsPerInput()), "array-steps")
+		})
+	}
+}
+
+// BenchmarkWDM regenerates E6: functional MMM over K wavelengths on one
+// oPCM array — work per activation grows K× while the activation count
+// stays constant.
+func BenchmarkWDM(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := crossbar.DefaultConfig(device.OPCM)
+	cfg.Rows, cfg.Cols = 128, 64
+	cfg.ADCBits = 8
+	arr, err := crossbar.NewArray(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := bitops.NewMatrix(cfg.Rows, cfg.Cols)
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			m.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	if err := arr.Program(m); err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		inputs := make([]*bitops.Vector, k)
+		for i := range inputs {
+			inputs[i] = bitops.NewVector(cfg.Rows)
+			for r := 0; r < cfg.Rows; r++ {
+				if rng.Intn(2) == 1 {
+					inputs[i].Set(r)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			arr.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.MMM(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := arr.Stats()
+			b.ReportMetric(float64(s.WavelengthOps)/float64(b.N), "wavelength-ops/activation")
+		})
+	}
+}
+
+// BenchmarkBitops measures the packed software kernel (the GPU/CPU
+// reference floor for Eq. (1)).
+func BenchmarkBitops(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range []int{128, 1024, 8192} {
+		x := bitops.NewVector(m)
+		w := bitops.NewVector(m)
+		for i := 0; i < m; i++ {
+			if rng.Intn(2) == 1 {
+				x.Set(i)
+			}
+			if rng.Intn(2) == 1 {
+				w.Set(i)
+			}
+		}
+		b.Run(fmt.Sprintf("XnorPopcount/m=%d", m), func(b *testing.B) {
+			b.SetBytes(int64(m / 8))
+			for i := 0; i < b.N; i++ {
+				_ = bitops.XnorPopcount(x, w)
+			}
+		})
+	}
+	b.Run("BipolarMatVec/256x1024", func(b *testing.B) {
+		w := bitops.NewMatrix(256, 1024)
+		for r := 0; r < 256; r++ {
+			for c := 0; c < 1024; c++ {
+				w.Set(r, c, rng.Intn(2) == 1)
+			}
+		}
+		x := bitops.NewVector(1024)
+		for i := 0; i < 1024; i++ {
+			if rng.Intn(2) == 1 {
+				x.Set(i)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = w.BipolarMatVec(x)
+		}
+	})
+}
+
+// BenchmarkCompile measures the compiler itself across the zoo.
+func BenchmarkCompile(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	for _, name := range bnn.ZooNames {
+		model, err := bnn.NewModel(name, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compiler.Compile(model, cfg, arch.EinsteinBarrier); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainerEpoch measures the STE training substrate.
+func BenchmarkTrainerEpoch(b *testing.B) {
+	xs := make([][]float64, 64)
+	ys := make([]int, 64)
+	rng := rand.New(rand.NewSource(12))
+	for i := range xs {
+		xs[i] = make([]float64, 784)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()
+		}
+		ys[i] = rng.Intn(10)
+	}
+	tr, err := bnn.NewTrainer(bnn.TrainerConfig{Sizes: []int{784, 64, 64, 10}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TrainEpoch(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnergyModel exercises the cost-table hot path (Eq. 2/3).
+func BenchmarkEnergyModel(b *testing.B) {
+	costs := energy.DefaultCostParams()
+	b.Run("TransmitterPowerEq3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = costs.TransmitterPowerMW(16, 256)
+		}
+	})
+	b.Run("StaticOpticalPower", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = costs.StaticOpticalPowerMW(256, 256, 16)
+		}
+	})
+}
+
+// BenchmarkCrossbarVMM measures the functional analog simulator itself
+// across array sizes (per simulated VMM, noise on).
+func BenchmarkCrossbarVMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{64, 128, 256} {
+		cfg := crossbar.DefaultConfig(device.EPCM)
+		cfg.Rows, cfg.Cols = n, n
+		cfg.ADCBits = 10
+		arr, err := crossbar.NewArray(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := bitops.NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				m.Set(r, c, rng.Intn(2) == 1)
+			}
+		}
+		if err := arr.Program(m); err != nil {
+			b.Fatal(err)
+		}
+		x := bitops.NewVector(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				x.Set(i)
+			}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.VMM(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHardwareInference measures one full hardware-in-the-loop
+// inference (binary layers on simulated arrays) for the robustness
+// studies.
+func BenchmarkHardwareInference(b *testing.B) {
+	model, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw, err := robust.Map(model, robust.DefaultConfig(device.EPCM))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.NewFloat(784)
+	rng := rand.New(rand.NewSource(14))
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialization measures model save/load round trips.
+func BenchmarkSerialization(b *testing.B) {
+	model, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := bnn.WriteModel(&buf, model); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(buf.Len()))
+		}
+	})
+	var buf bytes.Buffer
+	if err := bnn.WriteModel(&buf, model); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("Read", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := bnn.ReadModel(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

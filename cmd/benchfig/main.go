@@ -1,0 +1,177 @@
+// Command benchfig regenerates the paper's evaluation artifacts:
+//
+//	benchfig -fig 7          # Fig. 7: normalized latency per network
+//	benchfig -fig 8          # Fig. 8: normalized energy per network
+//	benchfig -fig 7 -summary # §VI callouts vs the paper's values
+//	benchfig -fig wdm        # WDM capacity sweep (E6)
+//	benchfig -fig steps      # TacitMap vs CustBinaryMap step sweep (E5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/core"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/eval"
+)
+
+func main() {
+	fig := flag.String("fig", "7", "artifact to regenerate: 7, 8, wdm, steps")
+	summary := flag.Bool("summary", false, "also print the §VI observation summary")
+	seed := flag.Int64("seed", 1, "zoo weight-synthesis seed")
+	k := flag.Int("k", 0, "override WDM capacity (default: architecture default 16)")
+	colsPerADC := flag.Int("cols-per-adc", 0, "override ADC sharing factor")
+	csvOut := flag.Bool("csv", false, "emit the full report as CSV instead of tables")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	cfg.Seed = *seed
+	if *k > 0 {
+		cfg.Arch.WDMCapacity = *k
+	}
+	if *colsPerADC > 0 {
+		cfg.Arch.ColumnsPerADC = *colsPerADC
+	}
+
+	switch *fig {
+	case "7", "8":
+		rep, err := eval.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *csvOut {
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if *jsonOut {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if *fig == "7" {
+			fmt.Print(rep.Fig7Table())
+		} else {
+			fmt.Print(rep.Fig8Table())
+		}
+		if *summary {
+			fmt.Println()
+			fmt.Print(rep.SummaryTable())
+		}
+	case "wdm":
+		wdmSweep(cfg)
+	case "steps":
+		stepSweep()
+	case "ablate":
+		ablate(cfg)
+	case "area":
+		areaTable(cfg)
+	default:
+		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}
+
+// areaTable prints the per-design silicon area of one crossbar unit —
+// the paper's §V-A synthesis methodology made explicit.
+func areaTable(cfg eval.Config) {
+	p := energy.DefaultAreaParams()
+	a := cfg.Arch
+	rows := []struct {
+		name string
+		b    energy.AreaBreakdown
+	}{
+		{"Baseline-ePCM (2T2R+SA)", p.BaselineArrayArea(a.CrossbarRows, a.CrossbarCols/2)},
+		{"TacitMap-ePCM (1T1R+ADC)", p.TacitArrayArea(a.CrossbarRows, a.CrossbarCols, a.ColumnsPerADC)},
+		{"EinsteinBarrier (oPCM)", p.EinsteinBarrierArrayArea(a.CrossbarRows, a.CrossbarCols, a.ColumnsPerADC, a.WDMCapacity, a.VCoresPerECore)},
+	}
+	fmt.Println("Per-array silicon area (mm2)")
+	fmt.Printf("%-26s %10s %12s %10s %10s %10s\n", "design", "cells", "converters", "photonic", "digital", "total")
+	for _, r := range rows {
+		fmt.Printf("%-26s %10.4f %12.4f %10.4f %10.4f %10.4f\n", r.name,
+			r.b.Cells/1e6, r.b.Converters/1e6, r.b.Photonic/1e6, r.b.Digital/1e6, r.b.Total()/1e6)
+	}
+}
+
+// ablate prints the three design-choice sweeps DESIGN.md calls out.
+func ablate(cfg eval.Config) {
+	wdm, err := eval.AblateWDMCapacity(cfg, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(eval.AblationTable("WDM capacity sweep", wdm))
+	fmt.Println()
+	adc, err := eval.AblateColumnsPerADC(cfg, []int{1, 4, 8, 16, 32})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(eval.AblationTable("ADC sharing sweep", adc))
+	fmt.Println()
+	sizes, err := eval.AblateCrossbarSize(cfg, []int{128, 256, 512})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(eval.AblationTable("Crossbar size sweep", sizes))
+}
+
+// wdmSweep reproduces E6: EinsteinBarrier speedup over TacitMap-ePCM as
+// the WDM capacity grows — bounded by K and by the network's available
+// parallelism (paper §VI-A observation 3).
+func wdmSweep(cfg eval.Config) {
+	fmt.Println("E6 — EinsteinBarrier/TacitMap-ePCM latency ratio vs WDM capacity K")
+	fmt.Printf("%-6s", "K")
+	base, err := eval.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range base.Networks {
+		fmt.Printf("%10s", n.Network)
+	}
+	fmt.Println()
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		c := cfg
+		c.Arch.WDMCapacity = k
+		rep, err := eval.Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6d", k)
+		for _, n := range rep.Networks {
+			fmt.Printf("%9.1fx", n.LatTacit/n.LatEB)
+		}
+		fmt.Println()
+	}
+}
+
+// stepSweep reproduces E5: the §III theoretical claim that TacitMap
+// needs n× fewer crossbar steps than CustBinaryMap on the same device.
+func stepSweep() {
+	fmt.Println("E5 — serial crossbar steps per input vector (single 256x256 array)")
+	fmt.Printf("%-24s %14s %14s %10s\n", "layer (n x m)", "CustBinaryMap", "TacitMap", "ratio")
+	cfg := arch.DefaultConfig()
+	for _, dims := range [][2]int{{16, 128}, {64, 128}, {128, 128}, {256, 128}, {256, 256}, {512, 512}} {
+		n, m := dims[0], dims[1]
+		tp, err := core.PlanTacit(n, m, cfg.CrossbarRows, cfg.CrossbarCols)
+		if err != nil {
+			fatal(err)
+		}
+		cp, err := core.PlanCust(n, m, cfg.CrossbarRows, cfg.CrossbarCols/2)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-24s %14d %14d %9.0fx\n",
+			fmt.Sprintf("%d x %d", n, m),
+			cp.SingleArrayStepsPerInput(), tp.SingleArrayStepsPerInput(),
+			float64(cp.SingleArrayStepsPerInput())/float64(tp.SingleArrayStepsPerInput()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}

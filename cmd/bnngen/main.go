@@ -1,0 +1,135 @@
+// Command bnngen inspects the model zoo and the crossbar mappings:
+//
+//	bnngen -list                     # zoo inventory with workloads
+//	bnngen -model CNN-M              # per-layer workload table
+//	bnngen -model MLP-S -map tacit   # TacitMap tiling of every layer
+//	bnngen -train                    # train a small BNN on synthetic digits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/core"
+	"einsteinbarrier/internal/dataset"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the zoo models")
+	model := flag.String("model", "", "inspect one model: "+strings.Join(bnn.ZooNames, ", "))
+	mapping := flag.String("map", "", "show crossbar tiling: tacit or cust")
+	train := flag.Bool("train", false, "train a demo BNN on synthetic digits")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	switch {
+	case *list:
+		listZoo(*seed)
+	case *train:
+		trainDemo(*seed)
+	case *model != "":
+		inspect(*model, *mapping, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func listZoo(seed int64) {
+	models, err := bnn.Zoo(seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %14s %10s\n", "model", "binary ops", "fp MACs", "weight bits", "layers")
+	for _, m := range models {
+		fmt.Printf("%-8s %14d %14d %14d %10d\n",
+			m.Name(), m.TotalBinaryOps(), m.TotalFPMACs(), m.WeightBits(), len(m.Layers))
+	}
+}
+
+func inspect(name, mapping string, seed int64) {
+	m, err := bnn.NewModel(name, seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := arch.DefaultConfig()
+	fmt.Printf("%s (input %v, %d classes)\n", m.Name(), m.InputShape, m.Classes)
+	fmt.Printf("%-14s %-7s %8s %8s %10s %14s\n", "layer", "kind", "n", "m", "positions", "ops")
+	for _, c := range m.Costs() {
+		switch c.Kind {
+		case "binary", "fp":
+			fmt.Printf("%-14s %-7s %8d %8d %10d %14d\n",
+				c.Name, c.Kind, c.Work.N, c.Work.M, c.Work.Positions,
+				c.Work.Ops()+c.MACs)
+		default:
+			fmt.Printf("%-14s %-7s\n", c.Name, c.Kind)
+		}
+	}
+	if mapping == "" {
+		return
+	}
+	fmt.Printf("\n%s tiling onto %dx%d arrays:\n", mapping, cfg.CrossbarRows, cfg.CrossbarCols)
+	fmt.Printf("%-14s %10s %10s %8s %16s\n", "layer", "row tiles", "col tiles", "arrays", "steps/input")
+	for _, c := range m.Costs() {
+		if c.Kind != "binary" {
+			continue
+		}
+		switch mapping {
+		case "tacit":
+			p, err := core.PlanTacit(c.Work.N, c.Work.M, cfg.CrossbarRows, cfg.CrossbarCols)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %10d %10d %8d %16d\n",
+				c.Name, p.RowTiles, p.ColTiles, p.Tiles(), p.SerialStepsPerInput())
+		case "cust":
+			p, err := core.PlanCust(c.Work.N, c.Work.M, cfg.CrossbarRows, cfg.CrossbarCols/2)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %10d %10d %8d %16d\n",
+				c.Name, p.RowTiles, p.ColTiles, p.Tiles(), p.SerialStepsPerInput())
+		default:
+			fatal(fmt.Errorf("unknown mapping %q (want tacit|cust)", mapping))
+		}
+	}
+}
+
+func trainDemo(seed int64) {
+	samples := dataset.Digits(800, seed)
+	train, test, err := dataset.Split(samples, 0.8)
+	if err != nil {
+		fatal(err)
+	}
+	xs, ys := dataset.Flatten(train)
+	txs, tys := dataset.Flatten(test)
+	tr, err := bnn.NewTrainer(bnn.TrainerConfig{Sizes: []int{784, 64, 64, 10}, LR: 0.01, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	for epoch := 1; epoch <= 12; epoch++ {
+		loss, err := tr.TrainEpoch(xs, ys)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch %2d  loss %.4f  test acc %.3f\n", epoch, loss, tr.Accuracy(txs, tys))
+	}
+	m := tr.Export("digit-mlp")
+	correct := 0
+	for i, s := range test {
+		if m.Predict(s.X.Reshape(784)) == tys[i] {
+			correct++
+		}
+	}
+	fmt.Printf("exported inference model accuracy: %.3f\n", float64(correct)/float64(len(test)))
+	_ = txs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bnngen:", err)
+	os.Exit(1)
+}

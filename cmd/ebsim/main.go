@@ -1,0 +1,139 @@
+// Command ebsim compiles and simulates one BNN from the model zoo on a
+// chosen accelerator design, printing the compiled program statistics,
+// per-layer latencies, and the energy breakdown.
+//
+//	ebsim -model CNN-L -design eb
+//	ebsim -model MLP-S -design baseline -program   # dump the ISA stream
+//	ebsim -model CNN-M -design tacit -k 8 -cols-per-adc 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/gpu"
+	"einsteinbarrier/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "CNN-S", "zoo model: "+strings.Join(bnn.ZooNames, ", "))
+	design := flag.String("design", "eb", "design: baseline, tacit, eb, gpu")
+	seed := flag.Int64("seed", 1, "weight-synthesis seed")
+	k := flag.Int("k", 0, "override WDM capacity")
+	colsPerADC := flag.Int("cols-per-adc", 0, "override ADC sharing factor")
+	dumpProgram := flag.Bool("program", false, "print the compiled ISA stream")
+	flag.Parse()
+
+	m, err := bnn.NewModel(*model, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := arch.DefaultConfig()
+	if *k > 0 {
+		cfg.WDMCapacity = *k
+	}
+	if *colsPerADC > 0 {
+		cfg.ColumnsPerADC = *colsPerADC
+	}
+
+	if *design == "gpu" {
+		g := gpu.DefaultModel()
+		fmt.Printf("%s on Baseline-GPU\n", m.Name())
+		fmt.Printf("  latency: %.2f us\n", g.InferenceLatencyNs(m)/1e3)
+		fmt.Printf("  energy:  %.2f uJ\n", g.InferenceEnergyPJ(m)/1e6)
+		return
+	}
+
+	var d arch.Design
+	switch *design {
+	case "baseline":
+		d = arch.BaselineEPCM
+	case "tacit":
+		d = arch.TacitEPCM
+	case "eb":
+		d = arch.EinsteinBarrier
+	default:
+		fatal(fmt.Errorf("unknown design %q (want baseline|tacit|eb|gpu)", *design))
+	}
+
+	c, err := compiler.Compile(m, cfg, d)
+	if err != nil {
+		fatal(err)
+	}
+	placement, err := compiler.PlaceAndRewrite(c, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpProgram {
+		fmt.Print(c.Program.String())
+		return
+	}
+	s, err := sim.New(cfg, energy.DefaultCostParams())
+	if err != nil {
+		fatal(err)
+	}
+	r, err := s.Run(c)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %v\n", m.Name(), d)
+	fmt.Printf("  binary ops/inference: %d\n", m.TotalBinaryOps())
+	fmt.Printf("  fp MACs/inference:    %d\n", m.TotalFPMACs())
+	fmt.Printf("  VCores used:          %d / %d\n", c.VCoresUsed, cfg.TotalVCores())
+	fmt.Printf("  placement:            %d layer spans, %d total hops, %d chip crossings\n",
+		len(placement.Spans), placement.TotalHops, placement.ChipCrossings)
+	if lc, err := sim.WeightLoadCost(c, cfg); err == nil {
+		fmt.Printf("  weight load (once):   %.2f us, %.2f uJ for %d writes\n",
+			lc.LatencyNs/1e3, lc.EnergyPJ/1e6, lc.Writes)
+	}
+	fmt.Printf("  instructions:         %d\n", r.Counters.Instructions)
+	fmt.Printf("  latency:              %.2f us\n", r.LatencyNs/1e3)
+	fmt.Printf("  energy:               %.2f uJ\n", r.EnergyPJ()/1e6)
+	fmt.Println("  per-layer latency:")
+	for _, lt := range r.PerLayer {
+		fmt.Printf("    %-14s %12.2f us\n", lt.Name, lt.LatencyNs/1e3)
+	}
+	e := r.Energy
+	fmt.Println("  energy breakdown (uJ):")
+	for _, row := range []struct {
+		name string
+		v    float64
+	}{
+		{"crossbar", e.CrossbarPJ}, {"adc", e.ADCPJ}, {"dac", e.DACPJ},
+		{"sense", e.SensePJ}, {"digital", e.DigitalPJ},
+		{"control+noc", e.ControlPJ}, {"optical static", e.StaticPJ},
+	} {
+		fmt.Printf("    %-14s %12.3f\n", row.name, row.v/1e6)
+	}
+
+	if p, err := sim.Pipeline(r); err == nil {
+		fmt.Printf("  streaming throughput: %.0f inf/s (bottleneck %s, pipeline gain %.1fx)\n",
+			p.ThroughputPerSec, p.BottleneckName, p.SpeedupOverSerial())
+	}
+
+	area := energy.DefaultAreaParams()
+	var perArray energy.AreaBreakdown
+	switch d {
+	case arch.BaselineEPCM:
+		perArray = area.BaselineArrayArea(cfg.CrossbarRows, cfg.CrossbarCols/2)
+	case arch.TacitEPCM:
+		perArray = area.TacitArrayArea(cfg.CrossbarRows, cfg.CrossbarCols, cfg.ColumnsPerADC)
+	case arch.EinsteinBarrier:
+		perArray = area.EinsteinBarrierArrayArea(cfg.CrossbarRows, cfg.CrossbarCols,
+			cfg.ColumnsPerADC, cfg.WDMCapacity, cfg.VCoresPerECore)
+	}
+	fmt.Printf("  silicon area:         %.3f mm2/array, %.1f mm2 for the %d arrays used\n",
+		perArray.Total()/1e6, perArray.Total()*float64(c.VCoresUsed)/1e6, c.VCoresUsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command robust runs the hardware-in-the-loop robustness studies: it
+// trains (or synthesizes) a BNN, maps its binary layers onto simulated
+// analog arrays, and sweeps device corners.
+//
+//	robust -sweep noise  -tech opcm   # programming-spread sweep
+//	robust -sweep faults -tech epcm   # stuck-at defect sweep
+//	robust -sweep drift  -tech epcm   # post-programming drift sweep
+//	robust -sweep mlc                 # multi-level decode error rates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/dataset"
+	"einsteinbarrier/internal/device"
+	"einsteinbarrier/internal/robust"
+)
+
+func main() {
+	sweep := flag.String("sweep", "noise", "study: noise, faults, drift, mlc")
+	tech := flag.String("tech", "epcm", "array technology: epcm, opcm")
+	samples := flag.Int("samples", 60, "held-out samples per corner")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	seed := flag.Int64("seed", 7, "seed")
+	flag.Parse()
+
+	if *sweep == "mlc" {
+		mlcStudy()
+		return
+	}
+
+	var dtech device.Technology
+	switch *tech {
+	case "epcm":
+		dtech = device.EPCM
+	case "opcm":
+		dtech = device.OPCM
+	default:
+		fatal(fmt.Errorf("unknown -tech %q", *tech))
+	}
+
+	model, test := train(*seed, *epochs)
+	if len(test) > *samples {
+		test = test[:*samples]
+	}
+	base := robust.DefaultConfig(dtech)
+
+	var points []robust.SweepPoint
+	var err error
+	switch *sweep {
+	case "noise":
+		points, err = robust.NoiseSweep(model, test, base,
+			[]float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4})
+	case "faults":
+		points, err = robust.FaultSweep(model, test, base,
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.2})
+	case "drift":
+		if dtech != device.EPCM {
+			fatal(fmt.Errorf("drift applies to ePCM arrays"))
+		}
+		points, err = robust.DriftSweep(model, test, base,
+			[]float64{0, 60, 3600, 86400, 604800})
+	default:
+		fatal(fmt.Errorf("unknown -sweep %q", *sweep))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-16s %14s %12s %12s\n", "corner", "sw/hw agree", "sw acc", "hw acc")
+	for _, p := range points {
+		fmt.Printf("%-16s %13.1f%% %11.1f%% %11.1f%%\n", p.Label,
+			100*p.Agreement.MatchRate(),
+			100*p.Agreement.SoftwareAccuracy,
+			100*p.Agreement.HardwareAccuracy)
+	}
+}
+
+func train(seed int64, epochs int) (*bnn.Model, []dataset.Sample) {
+	samples := dataset.Digits(700, seed)
+	trainSet, test, err := dataset.Split(samples, 0.85)
+	if err != nil {
+		fatal(err)
+	}
+	xs, ys := dataset.Flatten(trainSet)
+	tr, err := bnn.NewTrainer(bnn.TrainerConfig{Sizes: []int{784, 64, 64, 10}, LR: 0.01, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	for e := 0; e < epochs; e++ {
+		if _, err := tr.TrainEpoch(xs, ys); err != nil {
+			fatal(err)
+		}
+	}
+	return tr.Export("digit-mlp"), test
+}
+
+func mlcStudy() {
+	fmt.Println("Multi-level PCM decode error (the paper's §VI-C future work)")
+	fmt.Printf("%-8s %16s %16s\n", "levels", "analytic", "monte-carlo")
+	for _, l := range []int{2, 4, 8, 16, 32} {
+		p := device.DefaultMLCParams(l)
+		p.ProgramSigma, p.ReadNoiseSigma = 0.02, 0.005
+		fmt.Printf("%-8d %16.6f %16.6f\n", l, p.AnalyticErrorRate(), p.MonteCarloErrorRate(200000, 1))
+	}
+	p := device.DefaultMLCParams(2)
+	p.ProgramSigma, p.ReadNoiseSigma = 0.02, 0.005
+	fmt.Printf("\nrobust level limit at 1e-4: %d levels\n", p.RobustLevelLimit(1e-4))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "robust:", err)
+	os.Exit(1)
+}

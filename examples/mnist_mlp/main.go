@@ -1,0 +1,121 @@
+// mnist_mlp: end-to-end BNN flow on the MNIST-like synthetic dataset —
+// the paper's MLP workload class.
+//
+//  1. Train a small binarized MLP with the straight-through estimator.
+//
+//  2. Export the frozen inference model (FP input/output layers, binary
+//     hidden layer).
+//
+//  3. Re-run the hidden layer through a *simulated noisy oPCM crossbar*
+//     under TacitMap and verify the hardware path reproduces the
+//     software inference bit-for-bit.
+//
+//  4. Compile the MLP-S zoo network for all three accelerator designs
+//     and print its Fig. 7-style latency row.
+//
+//     go run ./examples/mnist_mlp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/core"
+	"einsteinbarrier/internal/crossbar"
+	"einsteinbarrier/internal/dataset"
+	"einsteinbarrier/internal/device"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/sim"
+)
+
+func main() {
+	// 1. Train.
+	samples := dataset.Digits(800, 7)
+	train, test, err := dataset.Split(samples, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs, ys := dataset.Flatten(train)
+	txs, tys := dataset.Flatten(test)
+	tr, err := bnn.NewTrainer(bnn.TrainerConfig{Sizes: []int{784, 64, 64, 10}, LR: 0.01, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for epoch := 1; epoch <= 10; epoch++ {
+		if _, err := tr.TrainEpoch(xs, ys); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("trained BNN test accuracy: %.3f\n", tr.Accuracy(txs, tys))
+
+	// 2. Export the frozen model.
+	model := tr.Export("digit-mlp")
+	if err := model.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the binary hidden layer on a simulated noisy oPCM crossbar.
+	var hidden *bnn.BinaryDense
+	for _, l := range model.Layers {
+		if b, ok := l.(*bnn.BinaryDense); ok {
+			hidden = b
+			break
+		}
+	}
+	cfg := crossbar.DefaultConfig(device.OPCM)
+	cfg.Rows, cfg.Cols = 128, 64
+	cfg.ADCBits = 8
+	mapped, err := core.MapTacit(hidden.WeightMatrix(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mismatches := 0
+	for _, s := range test[:50] {
+		// Software path up to the hidden layer input.
+		a := model.Layers[0].Forward(s.X.Reshape(784)) // fc0-fp
+		a = model.Layers[1].Forward(a)                 // sign
+		xb := bitops.FromFloats(a.Data())
+		want := hidden.ForwardPopcounts(xb)
+		got, err := mapped.Execute(xb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				mismatches++
+			}
+		}
+	}
+	fmt.Printf("oPCM crossbar vs software popcounts over 50 samples: %d mismatches\n", mismatches)
+	if mismatches != 0 {
+		log.Fatal("hardware path diverged from reference")
+	}
+
+	// 4. Fig. 7-style row for the MLP-S zoo network.
+	zoo, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acfg := arch.DefaultConfig()
+	simulator, err := sim.New(acfg, energy.DefaultCostParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sim.RunModelOnDesigns(simulator, func(d arch.Design) (*compiler.Compiled, error) {
+		return compiler.Compile(zoo, acfg, d)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[arch.BaselineEPCM].LatencyNs
+	fmt.Printf("\nMLP-S latency (one inference):\n")
+	for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+		r := results[d]
+		fmt.Printf("  %-16s %10.2f us   %6.1fx vs baseline\n",
+			d.String(), r.LatencyNs/1e3, base/r.LatencyNs)
+	}
+}

@@ -1,0 +1,94 @@
+// wdm_sweep: the design-space exploration the paper leaves as future
+// work (§VI-C), plus the photonic power/robustness trade-offs behind
+// the K = 16 capacity limit.
+//
+//  1. Eq. (2)/(3) power overheads of the oPCM ECore vs WDM capacity.
+//
+//  2. Worst-case WDM eye opening vs K and demux isolation — why binary
+//     PCM with K ≤ 16 is the robust operating point (§II-C).
+//
+//  3. Full-system latency/energy of EinsteinBarrier across K and ADC
+//     sharing — the ablation of the two readout knobs DESIGN.md calls
+//     out.
+//
+//     go run ./examples/wdm_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/photonics"
+	"einsteinbarrier/internal/sim"
+)
+
+func main() {
+	costs := energy.DefaultCostParams()
+
+	// 1. Power overheads (Eq. 2 + Eq. 3) for a 256×256 crossbar.
+	fmt.Println("Transmitter + receiver power for a 256x256 oPCM crossbar:")
+	fmt.Printf("%-4s %16s %16s %16s\n", "K", "Eq.3 tx (mW)", "Eq.2 TIAs (mW)", "total (W)")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		tx := costs.TransmitterPowerMW(k, 256)
+		tia := photonics.CrossbarTIAPowerMW(256)
+		fmt.Printf("%-4d %16.0f %16.0f %16.2f\n", k, tx, tia, (tx+tia)/1000)
+	}
+
+	// 2. Eye opening vs K and isolation.
+	fmt.Println("\nWorst-case WDM eye opening (1.0 = ideal, ≤0 = undecodable):")
+	fmt.Printf("%-12s", "isolation")
+	ks := []int{1, 2, 4, 8, 16}
+	for _, k := range ks {
+		fmt.Printf("%8s", fmt.Sprintf("K=%d", k))
+	}
+	fmt.Println()
+	for _, iso := range []float64{-35, -30, -25, -20, -15} {
+		fmt.Printf("%-12s", fmt.Sprintf("%.0f dB", iso))
+		for _, k := range ks {
+			cfg := photonics.DefaultTransmitterConfig(k, 256)
+			cfg.ChannelIsolationDB = iso
+			fmt.Printf("%8.3f", cfg.WorstCaseEyeOpening())
+		}
+		fmt.Println()
+	}
+
+	// 3. Full-system ablation on CNN-M: K × ColumnsPerADC.
+	model, err := bnn.NewModel("CNN-M", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEinsteinBarrier on CNN-M: latency (us) / energy (uJ) per inference")
+	fmt.Printf("%-14s", "cols/ADC \\ K")
+	for _, k := range ks {
+		fmt.Printf("%16s", fmt.Sprintf("K=%d", k))
+	}
+	fmt.Println()
+	for _, share := range []int{1, 4, 8, 16, 32} {
+		fmt.Printf("%-14d", share)
+		for _, k := range ks {
+			cfg := arch.DefaultConfig()
+			cfg.WDMCapacity = k
+			cfg.ColumnsPerADC = share
+			s, err := sim.New(cfg, costs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := compiler.Compile(model, cfg, arch.EinsteinBarrier)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := s.Run(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%16s", fmt.Sprintf("%.0f/%.0f", r.LatencyNs/1e3, r.EnergyPJ()/1e6))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nReading the grid: latency scales down with K until per-layer")
+	fmt.Println("overheads floor it; ADC sharing trades readout latency for ADCs.")
+}

@@ -1,0 +1,183 @@
+// Package arch describes the EinsteinBarrier spatial architecture
+// (paper Fig. 4): a hierarchy of Nodes (chips) connected by chip-to-chip
+// links, Tiles on an on-chip network, ECores inside tiles (instruction
+// memory, operand steer unit, scalar functional units, transmitter),
+// and VCores — the VMM-capable crossbars (ePCM or oPCM) each ECore
+// controls. The same hierarchy hosts all three CIM designs of the
+// evaluation; they differ in VCore technology, mapping, and whether the
+// MMM instruction is available.
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"einsteinbarrier/internal/device"
+)
+
+// Design identifies one of the evaluated accelerator configurations
+// (paper §V-B).
+type Design int
+
+const (
+	// BaselineEPCM is the SotA CustBinaryMap accelerator on 2T2R ePCM
+	// arrays (Hirtzlin et al.).
+	BaselineEPCM Design = iota
+	// TacitEPCM is TacitMap on electronic PCM 1T1R crossbars.
+	TacitEPCM
+	// EinsteinBarrier is TacitMap on oPCM VCores with WDM.
+	EinsteinBarrier
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case BaselineEPCM:
+		return "Baseline-ePCM"
+	case TacitEPCM:
+		return "TacitMap-ePCM"
+	case EinsteinBarrier:
+		return "EinsteinBarrier"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Tech returns the VCore technology of the design.
+func (d Design) Tech() device.Technology {
+	if d == EinsteinBarrier {
+		return device.OPCM
+	}
+	return device.EPCM
+}
+
+// Config is the architecture configuration shared by the designs.
+type Config struct {
+	// Nodes, TilesPerNode, ECoresPerTile, VCoresPerECore set the
+	// hierarchy (Fig. 4 b–e).
+	Nodes          int
+	TilesPerNode   int
+	ECoresPerTile  int
+	VCoresPerECore int
+	// CrossbarRows/Cols are the VCore array dimensions.
+	CrossbarRows, CrossbarCols int
+	// ColumnsPerADC is the readout sharing factor (ADC conversion
+	// rounds per VMM).
+	ColumnsPerADC int
+	// WDMCapacity is K for oPCM VCores (1 on electronic designs).
+	WDMCapacity int
+	// InputBits is the bit depth of the high-precision first/last
+	// layers' activations (bit-streamed through the crossbars).
+	InputBits int
+	// FPReplication is how many replicas of a high-precision first
+	// conv layer the compiler may place to process positions in
+	// parallel (bounded by spare VCores).
+	FPReplication int
+}
+
+// DefaultConfig returns the evaluation architecture: 4 nodes × 16 tiles
+// × 8 ECores × 8 VCores of 256×256, 8-column ADC sharing, K=16, 8-bit
+// IO layers.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          4,
+		TilesPerNode:   16,
+		ECoresPerTile:  8,
+		VCoresPerECore: 8,
+		CrossbarRows:   256,
+		CrossbarCols:   256,
+		ColumnsPerADC:  8,
+		WDMCapacity:    16,
+		InputBits:      8,
+		FPReplication:  64,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	pos := map[string]int{
+		"Nodes": c.Nodes, "TilesPerNode": c.TilesPerNode,
+		"ECoresPerTile": c.ECoresPerTile, "VCoresPerECore": c.VCoresPerECore,
+		"CrossbarRows": c.CrossbarRows, "CrossbarCols": c.CrossbarCols,
+		"ColumnsPerADC": c.ColumnsPerADC, "WDMCapacity": c.WDMCapacity,
+		"InputBits": c.InputBits, "FPReplication": c.FPReplication,
+	}
+	for name, v := range pos {
+		if v < 1 {
+			return fmt.Errorf("arch: %s must be ≥ 1, got %d", name, v)
+		}
+	}
+	if c.ColumnsPerADC > c.CrossbarCols {
+		return fmt.Errorf("arch: ColumnsPerADC %d exceeds columns %d", c.ColumnsPerADC, c.CrossbarCols)
+	}
+	if c.CrossbarRows%2 != 0 {
+		return fmt.Errorf("arch: crossbar rows %d must be even (TacitMap stores [w;¬w])", c.CrossbarRows)
+	}
+	return nil
+}
+
+// TotalTiles returns the tile count across all nodes.
+func (c Config) TotalTiles() int { return c.Nodes * c.TilesPerNode }
+
+// TotalECores returns the ECore count.
+func (c Config) TotalECores() int { return c.TotalTiles() * c.ECoresPerTile }
+
+// TotalVCores returns the crossbar count.
+func (c Config) TotalVCores() int { return c.TotalECores() * c.VCoresPerECore }
+
+// MeshWidth returns the side of the per-node tile mesh.
+func (c Config) MeshWidth() int {
+	return int(math.Ceil(math.Sqrt(float64(c.TilesPerNode))))
+}
+
+// CellsPerVCore returns the device count of one crossbar.
+func (c Config) CellsPerVCore() int { return c.CrossbarRows * c.CrossbarCols }
+
+// WeightCapacityBits returns how many TacitMap-mapped binary weight
+// bits the machine can hold: each bit uses two cells ([w;¬w]).
+func (c Config) WeightCapacityBits() int64 {
+	return int64(c.TotalVCores()) * int64(c.CellsPerVCore()) / 2
+}
+
+// ADCRoundsPerVMM returns the serial conversion rounds per VMM.
+func (c Config) ADCRoundsPerVMM() int { return c.ColumnsPerADC }
+
+// EffectiveK returns the WDM capacity available to a design: 1 on
+// electronic designs (no frequency dimension), K on EinsteinBarrier.
+func (c Config) EffectiveK(d Design) int {
+	if d == EinsteinBarrier {
+		return c.WDMCapacity
+	}
+	return 1
+}
+
+// VCoreID identifies one crossbar in the hierarchy.
+type VCoreID struct {
+	Node, Tile, ECore, VCore int
+}
+
+// VCoreByIndex maps a flat index to its hierarchical ID.
+func (c Config) VCoreByIndex(i int) (VCoreID, error) {
+	if i < 0 || i >= c.TotalVCores() {
+		return VCoreID{}, fmt.Errorf("arch: vcore index %d outside [0,%d)", i, c.TotalVCores())
+	}
+	id := VCoreID{}
+	id.VCore = i % c.VCoresPerECore
+	i /= c.VCoresPerECore
+	id.ECore = i % c.ECoresPerTile
+	i /= c.ECoresPerTile
+	id.Tile = i % c.TilesPerNode
+	id.Node = i / c.TilesPerNode
+	return id, nil
+}
+
+// Index maps a hierarchical ID back to its flat index.
+func (c Config) Index(id VCoreID) (int, error) {
+	if id.Node < 0 || id.Node >= c.Nodes ||
+		id.Tile < 0 || id.Tile >= c.TilesPerNode ||
+		id.ECore < 0 || id.ECore >= c.ECoresPerTile ||
+		id.VCore < 0 || id.VCore >= c.VCoresPerECore {
+		return 0, fmt.Errorf("arch: invalid vcore id %+v", id)
+	}
+	return ((id.Node*c.TilesPerNode+id.Tile)*c.ECoresPerTile+id.ECore)*c.VCoresPerECore + id.VCore, nil
+}

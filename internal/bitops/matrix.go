@@ -1,0 +1,122 @@
+package bitops
+
+import "fmt"
+
+// Matrix is a dense binary matrix stored as a slice of row Vectors.
+// In BNN terms a weight matrix has one row per output neuron (a "weight
+// vector" in the paper's language) and one column per input feature.
+type Matrix struct {
+	rows, cols int
+	data       []*Vector // len == rows, each of length cols
+}
+
+// NewMatrix returns an all-zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bitops: negative matrix dims %dx%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: cols, data: make([]*Vector, rows)}
+	for i := range m.data {
+		m.data[i] = NewVector(cols)
+	}
+	return m
+}
+
+// MatrixFromRows builds a matrix from row vectors, which must all share
+// the same length. The vectors are cloned.
+func MatrixFromRows(rows []*Vector) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := rows[0].Len()
+	m := &Matrix{rows: len(rows), cols: cols, data: make([]*Vector, len(rows))}
+	for i, r := range rows {
+		if r.Len() != cols {
+			panic(fmt.Sprintf("bitops: ragged rows: row %d has %d cols, want %d", i, r.Len(), cols))
+		}
+		m.data[i] = r.Clone()
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i (not a copy; treat as read-only).
+func (m *Matrix) Row(i int) *Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("bitops: row %d out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i]
+}
+
+// Get reports bit (r, c).
+func (m *Matrix) Get(r, c int) bool { return m.Row(r).Get(c) }
+
+// Set sets bit (r, c) to b.
+func (m *Matrix) Set(r, c int, b bool) { m.Row(r).SetBool(c, b) }
+
+// Col extracts column c as a fresh Vector of length rows.
+func (m *Matrix) Col(c int) *Vector {
+	if c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("bitops: col %d out of range [0,%d)", c, m.cols))
+	}
+	v := NewVector(m.rows)
+	for r := 0; r < m.rows; r++ {
+		if m.data[r].Get(c) {
+			v.Set(r)
+		}
+	}
+	return v
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for r := 0; r < m.rows; r++ {
+		row := m.data[r]
+		for c := 0; c < m.cols; c++ {
+			if row.Get(c) {
+				t.data[c].Set(r)
+			}
+		}
+	}
+	return t
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]*Vector, m.rows)}
+	for i, r := range m.data {
+		c.data[i] = r.Clone()
+	}
+	return c
+}
+
+// XnorPopcountAll computes Popcount(x ⊙ row) for every row of the
+// matrix — the full XNOR+Popcount workload of one BNN layer on one
+// input vector, and the software-reference result that one TacitMap VMM
+// step must reproduce across its columns.
+func (m *Matrix) XnorPopcountAll(x *Vector) []int {
+	if x.Len() != m.cols {
+		panic(fmt.Sprintf("bitops: input length %d != cols %d", x.Len(), m.cols))
+	}
+	out := make([]int, m.rows)
+	for i, row := range m.data {
+		out[i] = XnorPopcount(x, row)
+	}
+	return out
+}
+
+// BipolarMatVec computes the {-1,+1} matrix-vector product via Eq. (1):
+// out[i] = 2·Popcount(x ⊙ row_i) − cols.
+func (m *Matrix) BipolarMatVec(x *Vector) []int {
+	pc := m.XnorPopcountAll(x)
+	for i := range pc {
+		pc[i] = 2*pc[i] - m.cols
+	}
+	return pc
+}

@@ -1,0 +1,292 @@
+package bitops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomVector(rng *rand.Rand, n int) *Vector {
+	v := NewVector(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestNewVectorZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		v := NewVector(n)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if v.Popcount() != 0 {
+			t.Fatalf("new vector of len %d has popcount %d", n, v.Popcount())
+		}
+	}
+}
+
+func TestNewVectorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative length")
+		}
+	}()
+	NewVector(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := NewVector(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	v := NewVector(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %d", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestNotCanonicalForm(t *testing.T) {
+	// Complementing must not set bits beyond Len (would corrupt Popcount).
+	for _, n := range []int{1, 5, 63, 64, 65, 100} {
+		v := NewVector(n)
+		nv := v.Not()
+		if nv.Popcount() != n {
+			t.Fatalf("Not of zero vector len %d has popcount %d, want %d", n, nv.Popcount(), n)
+		}
+		if nn := nv.Not(); !nn.Equal(v) {
+			t.Fatalf("double complement differs for len %d", n)
+		}
+	}
+}
+
+func TestXnorKnownValues(t *testing.T) {
+	a, err := Parse("1100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("1010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Xnor(b).String()
+	if got != "1001" {
+		t.Fatalf("Xnor = %s, want 1001", got)
+	}
+	if pc := XnorPopcount(a, b); pc != 2 {
+		t.Fatalf("XnorPopcount = %d, want 2", pc)
+	}
+	if dot := BipolarDot(a, b); dot != 0 {
+		// {+1,+1,-1,-1}·{+1,-1,+1,-1} = 1-1-1+1 = 0
+		t.Fatalf("BipolarDot = %d, want 0", dot)
+	}
+}
+
+func TestBipolarDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		a := randomVector(rng, n)
+		b := randomVector(rng, n)
+		want := 0
+		ab, bb := a.Bipolar(), b.Bipolar()
+		for i := 0; i < n; i++ {
+			want += ab[i] * bb[i]
+		}
+		if got := BipolarDot(a, b); got != want {
+			t.Fatalf("n=%d: BipolarDot = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestEquationOneIdentity checks the paper's Eq. (1):
+// dot = 2*Popcount(XNOR) - len, via quick.Check over random bool slices.
+func TestEquationOneIdentity(t *testing.T) {
+	f := func(xs, ws []bool) bool {
+		n := len(xs)
+		if len(ws) < n {
+			n = len(ws)
+		}
+		x := FromBools(xs[:n])
+		w := FromBools(ws[:n])
+		dot := 0
+		for i := 0; i < n; i++ {
+			xv, wv := -1, -1
+			if xs[i] {
+				xv = 1
+			}
+			if ws[i] {
+				wv = 1
+			}
+			dot += xv * wv
+		}
+		return BipolarDot(x, w) == dot && XnorPopcount(x, w) == x.Xnor(w).Popcount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTacitMapColumnIdentity verifies the algebraic core of TacitMap:
+// AND-popcount of [x ; ¬x] against [w ; ¬w] equals Popcount(XNOR(x,w)).
+// This is why a 1T1R column storing [w ; ¬w] and driven with [x ; ¬x]
+// reads out the XNOR+Popcount directly.
+func TestTacitMapColumnIdentity(t *testing.T) {
+	f := func(xs, ws []bool) bool {
+		n := len(xs)
+		if len(ws) < n {
+			n = len(ws)
+		}
+		x := FromBools(xs[:n])
+		w := FromBools(ws[:n])
+		input := Concat(x, x.Not())
+		column := Concat(w, w.Not())
+		return AndPopcount(input, column) == XnorPopcount(x, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCustBinaryMapRowIdentity verifies the 2T2R interleaved layout:
+// AND-popcount of interleaved (x, ¬x) against interleaved (w, ¬w) equals
+// Popcount(XNOR(x,w)) as well — both mappings compute the same function,
+// they differ only in geometry (rows vs columns) and hence parallelism.
+func TestCustBinaryMapRowIdentity(t *testing.T) {
+	f := func(xs, ws []bool) bool {
+		n := len(xs)
+		if len(ws) < n {
+			n = len(ws)
+		}
+		x := FromBools(xs[:n])
+		w := FromBools(ws[:n])
+		input := Interleave(x, x.Not())
+		row := Interleave(w, w.Not())
+		return AndPopcount(input, row) == XnorPopcount(x, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatSliceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := randomVector(rng, rng.Intn(150))
+		b := randomVector(rng, rng.Intn(150))
+		c := Concat(a, b)
+		if c.Len() != a.Len()+b.Len() {
+			t.Fatalf("concat len = %d", c.Len())
+		}
+		if !c.Slice(0, a.Len()).Equal(a) || !c.Slice(a.Len(), c.Len()).Equal(b) {
+			t.Fatal("slice round trip failed")
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a, _ := Parse("10")
+	b, _ := Parse("01")
+	got := Interleave(a, b).String()
+	if got != "1001" {
+		t.Fatalf("Interleave = %s, want 1001", got)
+	}
+}
+
+func TestXorAndOr(t *testing.T) {
+	a, _ := Parse("1100")
+	b, _ := Parse("1010")
+	if got := a.Xor(b).String(); got != "0110" {
+		t.Fatalf("Xor = %s", got)
+	}
+	if got := a.And(b).String(); got != "1000" {
+		t.Fatalf("And = %s", got)
+	}
+	if got := a.Or(b).String(); got != "1110" {
+		t.Fatalf("Or = %s", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a := NewVector(4)
+	b := NewVector(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a.Xnor(b)
+}
+
+func TestFromBipolarFromFloats(t *testing.T) {
+	v := FromBipolar([]int{1, -1, 1, -1, 0})
+	if v.String() != "10100" {
+		t.Fatalf("FromBipolar = %s", v.String())
+	}
+	f := FromFloats([]float64{0.5, -0.5, 0, 3})
+	if f.String() != "1001" {
+		t.Fatalf("FromFloats = %s", f.String())
+	}
+	bp := v.Bipolar()
+	want := []int{1, -1, 1, -1, -1}
+	for i := range want {
+		if bp[i] != want[i] {
+			t.Fatalf("Bipolar[%d] = %d, want %d", i, bp[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("10x"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	v, err := Parse("0110")
+	if err != nil || v.String() != "0110" {
+		t.Fatalf("Parse round trip: %v %q", err, v.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := Parse("1010")
+	b := a.Clone()
+	b.Set(1)
+	if a.Get(1) {
+		t.Fatal("Clone shares storage")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if NewVector(3).Equal(NewVector(4)) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestBoolsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := randomVector(rng, 77)
+	if !FromBools(v.Bools()).Equal(v) {
+		t.Fatal("Bools round trip failed")
+	}
+}

@@ -1,0 +1,127 @@
+package bnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batch-norm folding. BNNs train with a batch-norm between the binary
+// dot product and the sign activation (paper §II-B); at inference the
+// whole BN+sign pair collapses into an integer threshold on the dot
+// product:
+//
+//	sign(γ·(dot − µ)/σ + β) = +1
+//	  ⇔ dot ≥ µ − β·σ/γ          (γ > 0)
+//	  ⇔ dot ≤ µ − β·σ/γ          (γ < 0, comparison flips)
+//
+// A flipped comparison is realized without new hardware by negating the
+// weight vector (dot → −dot) and negating the threshold — so the
+// folded form is always "dot ≥ T" on possibly-complemented weights,
+// exactly what BinaryDense/BinaryConv2D implement.
+
+// BatchNorm holds per-output-channel inference-time BN parameters.
+type BatchNorm struct {
+	// Gamma, Beta are the learned scale and shift.
+	Gamma, Beta []float64
+	// Mean, Var are the running statistics.
+	Mean, Var []float64
+	// Eps stabilizes the variance (default 1e-5 if zero).
+	Eps float64
+}
+
+// Validate checks dimensional consistency.
+func (b BatchNorm) Validate() error {
+	n := len(b.Gamma)
+	if n == 0 || len(b.Beta) != n || len(b.Mean) != n || len(b.Var) != n {
+		return fmt.Errorf("bnn: batchnorm arrays disagree: γ=%d β=%d µ=%d σ²=%d",
+			len(b.Gamma), len(b.Beta), len(b.Mean), len(b.Var))
+	}
+	for i, v := range b.Var {
+		if v < 0 {
+			return fmt.Errorf("bnn: negative variance at %d", i)
+		}
+	}
+	for i, g := range b.Gamma {
+		if g == 0 {
+			return fmt.Errorf("bnn: zero gamma at %d (fold undefined)", i)
+		}
+	}
+	return nil
+}
+
+// eps returns the effective epsilon.
+func (b BatchNorm) eps() float64 {
+	if b.Eps > 0 {
+		return b.Eps
+	}
+	return 1e-5
+}
+
+// foldOne returns the integer threshold and whether the weight vector
+// must be complemented (γ < 0). sign uses the strict form v > 0, and
+// dot is an integer, so "dot > t" becomes "dot ≥ ⌊t⌋+1".
+func (b BatchNorm) foldOne(i int) (thresh int, flip bool) {
+	sigma := math.Sqrt(b.Var[i] + b.eps())
+	t := b.Mean[i] - b.Beta[i]*sigma/b.Gamma[i]
+	if b.Gamma[i] > 0 {
+		return int(math.Floor(t)) + 1, false
+	}
+	// v > 0 ⇔ dot < t ⇔ (−dot) > −t; negating the weights negates dot.
+	return int(math.Floor(-t)) + 1, true
+}
+
+// FoldIntoDense rewrites a BinaryDense layer in place: thresholds take
+// the folded values and rows with γ < 0 are complemented. After
+// folding, Forward(x) computes sign(BN(dot)) exactly.
+func FoldIntoDense(l *BinaryDense, bn BatchNorm) error {
+	if err := bn.Validate(); err != nil {
+		return err
+	}
+	if len(bn.Gamma) != l.W.Rows() {
+		return fmt.Errorf("bnn: batchnorm width %d != layer outputs %d", len(bn.Gamma), l.W.Rows())
+	}
+	for o := 0; o < l.W.Rows(); o++ {
+		t, flip := bn.foldOne(o)
+		if flip {
+			row := l.W.Row(o).Not()
+			for c := 0; c < l.W.Cols(); c++ {
+				l.W.Set(o, c, row.Get(c))
+			}
+		}
+		l.Thresh[o] = t
+	}
+	return nil
+}
+
+// FoldIntoConv rewrites a BinaryConv2D layer in place (per output
+// channel).
+func FoldIntoConv(l *BinaryConv2D, bn BatchNorm) error {
+	if err := bn.Validate(); err != nil {
+		return err
+	}
+	if len(bn.Gamma) != l.OutC {
+		return fmt.Errorf("bnn: batchnorm width %d != channels %d", len(bn.Gamma), l.OutC)
+	}
+	for o := 0; o < l.OutC; o++ {
+		t, flip := bn.foldOne(o)
+		if flip {
+			row := l.K.Row(o).Not()
+			for c := 0; c < l.K.Cols(); c++ {
+				l.K.Set(o, c, row.Get(c))
+			}
+		}
+		l.Thresh[o] = t
+	}
+	return nil
+}
+
+// ReferenceBNSign computes sign(BN(dot)) directly in floating point —
+// the unfolded reference the fold is verified against.
+func (b BatchNorm) ReferenceBNSign(i int, dot int) float64 {
+	sigma := math.Sqrt(b.Var[i] + b.eps())
+	v := b.Gamma[i]*(float64(dot)-b.Mean[i])/sigma + b.Beta[i]
+	if v > 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,145 @@
+package bnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/tensor"
+)
+
+func randomBN(rng *rand.Rand, n int) BatchNorm {
+	bn := BatchNorm{
+		Gamma: make([]float64, n),
+		Beta:  make([]float64, n),
+		Mean:  make([]float64, n),
+		Var:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		bn.Gamma[i] = rng.NormFloat64()
+		if bn.Gamma[i] == 0 {
+			bn.Gamma[i] = 1
+		}
+		bn.Beta[i] = rng.NormFloat64()
+		bn.Mean[i] = rng.NormFloat64() * 4
+		bn.Var[i] = rng.Float64()*4 + 0.1
+	}
+	return bn
+}
+
+func TestBatchNormValidate(t *testing.T) {
+	bad := []BatchNorm{
+		{},
+		{Gamma: []float64{1}, Beta: []float64{0}, Mean: []float64{0}, Var: []float64{0, 1}},
+		{Gamma: []float64{0}, Beta: []float64{0}, Mean: []float64{0}, Var: []float64{1}},
+		{Gamma: []float64{1}, Beta: []float64{0}, Mean: []float64{0}, Var: []float64{-1}},
+	}
+	for i, bn := range bad {
+		if err := bn.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestFoldDenseMatchesReference: for every input, the folded layer must
+// equal sign(BN(dot)) computed in floating point on the original
+// weights.
+func TestFoldDenseMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		out, in := 1+rng.Intn(12), 1+rng.Intn(40)
+		w := bitops.NewMatrix(out, in)
+		for r := 0; r < out; r++ {
+			for c := 0; c < in; c++ {
+				w.Set(r, c, rng.Intn(2) == 1)
+			}
+		}
+		original := w.Clone()
+		bn := randomBN(rng, out)
+		l := &BinaryDense{LayerName: "b", W: w, Thresh: make([]int, out)}
+		if err := FoldIntoDense(l, bn); err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := tensor.NewFloat(in)
+			for i := range x.Data() {
+				x.Data()[i] = rng.NormFloat64()
+			}
+			got := l.Forward(x.Clone())
+			xb := bitops.FromFloats(x.Data())
+			dots := original.BipolarMatVec(xb)
+			for o := 0; o < out; o++ {
+				if got.At(o) != bn.ReferenceBNSign(o, dots[o]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldConvMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := tensor.ConvGeom{InC: 3, InH: 6, InW: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	outC := 5
+	k := bitops.NewMatrix(outC, g.PatchLen())
+	for r := 0; r < outC; r++ {
+		for c := 0; c < g.PatchLen(); c++ {
+			k.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	original := k.Clone()
+	bn := randomBN(rng, outC)
+	l := &BinaryConv2D{LayerName: "c", Geom: g, OutC: outC, K: k, Thresh: make([]int, outC)}
+	if err := FoldIntoConv(l, bn); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewFloat(g.InC, g.InH, g.InW)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	got := l.Forward(x.Clone())
+	// Reference: dots on original kernels, BN+sign in float.
+	cols := g.Im2Col(x)
+	pos := g.Positions()
+	for p := 0; p < pos; p++ {
+		patch := bitops.FromFloats(cols.Data()[p*g.PatchLen() : (p+1)*g.PatchLen()])
+		dots := original.BipolarMatVec(patch)
+		for o := 0; o < outC; o++ {
+			if got.Data()[o*pos+p] != bn.ReferenceBNSign(o, dots[o]) {
+				t.Fatalf("pos %d ch %d mismatch", p, o)
+			}
+		}
+	}
+}
+
+func TestFoldDimensionMismatch(t *testing.T) {
+	l := &BinaryDense{LayerName: "b", W: bitops.NewMatrix(3, 4), Thresh: make([]int, 3)}
+	bn := randomBN(rand.New(rand.NewSource(1)), 2)
+	if err := FoldIntoDense(l, bn); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1}
+	c := &BinaryConv2D{LayerName: "c", Geom: g, OutC: 3, K: bitops.NewMatrix(3, 9), Thresh: make([]int, 3)}
+	if err := FoldIntoConv(c, bn); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestNegativeGammaFlipsWeights(t *testing.T) {
+	w := bitops.NewMatrix(1, 4)
+	w.Set(0, 0, true)
+	l := &BinaryDense{LayerName: "b", W: w, Thresh: []int{0}}
+	bn := BatchNorm{Gamma: []float64{-1}, Beta: []float64{0}, Mean: []float64{0}, Var: []float64{1}}
+	if err := FoldIntoDense(l, bn); err != nil {
+		t.Fatal(err)
+	}
+	// Row must be complemented: 1000 → 0111.
+	if l.W.Row(0).String() != "0111" {
+		t.Fatalf("row = %s, want 0111", l.W.Row(0).String())
+	}
+}

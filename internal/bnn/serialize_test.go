@@ -1,0 +1,140 @@
+package bnn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"einsteinbarrier/internal/tensor"
+)
+
+func roundTrip(t *testing.T, m *Model) *Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSerializeRoundTripAllZoo(t *testing.T) {
+	for _, name := range ZooNames {
+		m, err := NewModel(name, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := roundTrip(t, m)
+		if got.ModelName != m.ModelName || got.Classes != m.Classes {
+			t.Fatalf("%s: header mismatch", name)
+		}
+		if len(got.Layers) != len(m.Layers) {
+			t.Fatalf("%s: %d layers, want %d", name, len(got.Layers), len(m.Layers))
+		}
+		// Same inference on a random input — layer-exact equality via
+		// the strongest observable: identical logits.
+		x := tensor.NewFloat(m.InputShape...)
+		rng := rand.New(rand.NewSource(9))
+		for i := range x.Data() {
+			x.Data()[i] = rng.Float64()
+		}
+		a, b := m.Infer(x.Clone()), got.Infer(x.Clone())
+		for i := range a.Data() {
+			if a.Data()[i] != b.Data()[i] {
+				t.Fatalf("%s: logits diverge at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSerializeTrainedModel(t *testing.T) {
+	tr, err := NewTrainer(TrainerConfig{Sizes: []int{16, 8, 8, 4}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Export("tiny")
+	got := roundTrip(t, m)
+	x := tensor.NewFloat(16)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i%3) - 1
+	}
+	if m.Predict(x.Clone()) != got.Predict(x.Clone()) {
+		t.Fatal("prediction changed after round trip")
+	}
+}
+
+func TestBinaryWeightsCompact(t *testing.T) {
+	// The whole point of BNN storage: serialized binary layers must be
+	// ~64× smaller than a float32 encoding of the same weights.
+	m, err := NewModel("MLP-M", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: binary weights at 1 bit each, FP weights at 8 bytes
+	// (float64), plus thresholds/biases and modest framing.
+	binBytes := m.WeightBits() / 8
+	fpBytes := m.TotalFPMACs() * 8 // dense/conv weight counts equal their MACs per position
+	budget := binBytes + fpBytes + binBytes/2 + 256*1024
+	if int64(buf.Len()) > budget {
+		t.Fatalf("serialized size %d exceeds budget %d (binary layers not bit-packed?)", buf.Len(), budget)
+	}
+	// And the binary layers alone must be ~32× below an fp32 encoding.
+	if binBytes*32 > m.WeightBits()*4 {
+		t.Fatal("arithmetic sanity")
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("EBNN"),                     // truncated after magic
+		append([]byte("EBNN"), 9, 0, 0, 0), // bad version
+	}
+	for i, b := range cases {
+		if _, err := ReadModel(bytes.NewReader(b)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadModelRejectsTruncation(t *testing.T) {
+	m, _ := NewModel("MLP-S", 1)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := ReadModel(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestReadModelValidates(t *testing.T) {
+	// A structurally valid stream whose shapes do not compose must be
+	// rejected by the final Validate.
+	m := &Model{
+		ModelName:  "bad",
+		InputShape: []int{4},
+		Classes:    3, // final layer emits 2 — mismatch
+		Layers: []Layer{
+			&DenseFP{LayerName: "d", W: tensor.NewFloat(2, 4), B: make([]float64, 2)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf); err == nil {
+		t.Fatal("expected validation error on read")
+	}
+}

@@ -1,0 +1,300 @@
+package bnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/tensor"
+)
+
+// Trainer trains an MLP-shaped BNN with the straight-through estimator
+// (STE), the standard BNN training recipe the paper relies on (§II-B):
+// full-precision "shadow" weights accumulate gradient updates while the
+// forward pass uses their binarized values; the sign non-linearity
+// back-propagates as identity clipped to |x| ≤ 1.
+//
+// The first and last layers stay in full precision (paper §II-B,
+// technique 2). Export produces a Model whose hidden layers are
+// BinaryDense, ready for crossbar mapping.
+type Trainer struct {
+	sizes []int
+	// w[l] is sizes[l+1]×sizes[l] shadow weights, b[l] biases.
+	w [][]float64
+	b [][]float64
+	// lr is the SGD learning rate.
+	lr  float64
+	rng *rand.Rand
+}
+
+// TrainerConfig configures NewTrainer.
+type TrainerConfig struct {
+	// Sizes are the layer widths, e.g. [64, 128, 128, 10]. The first
+	// and last affine layers are full precision; everything between is
+	// binarized. Needs at least 3 entries (one hidden layer).
+	Sizes []int
+	// LR is the SGD learning rate (default 0.01 if zero).
+	LR float64
+	// Seed seeds weight init and shuffling.
+	Seed int64
+}
+
+// NewTrainer initializes shadow weights with scaled Gaussian init.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if len(cfg.Sizes) < 3 {
+		return nil, fmt.Errorf("bnn: trainer needs ≥3 layer sizes, got %v", cfg.Sizes)
+	}
+	for _, s := range cfg.Sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("bnn: non-positive layer size in %v", cfg.Sizes)
+		}
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	t := &Trainer{sizes: cfg.Sizes, lr: lr, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for l := 0; l+1 < len(cfg.Sizes); l++ {
+		in, out := cfg.Sizes[l], cfg.Sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in))
+		for i := range w {
+			w[i] = t.rng.NormFloat64() * scale
+		}
+		t.w = append(t.w, w)
+		t.b = append(t.b, make([]float64, out))
+	}
+	return t, nil
+}
+
+// nLayers returns the number of affine layers.
+func (t *Trainer) nLayers() int { return len(t.w) }
+
+// isBinary reports whether affine layer l uses binarized weights and
+// inputs (all layers except the first and last).
+func (t *Trainer) isBinary(l int) bool { return l > 0 && l < t.nLayers()-1 }
+
+// forward runs one sample, caching pre-activations for backprop.
+// Returns per-layer pre-activations z[l] (len out) and inputs a[l].
+func (t *Trainer) forward(x []float64) (zs, as [][]float64) {
+	a := x
+	for l := 0; l < t.nLayers(); l++ {
+		in, out := t.sizes[l], t.sizes[l+1]
+		as = append(as, a)
+		z := make([]float64, out)
+		for o := 0; o < out; o++ {
+			s := t.b[l][o]
+			row := t.w[l][o*in : (o+1)*in]
+			if t.isBinary(l) {
+				for i, v := range a {
+					if (row[i] > 0) == (v > 0) {
+						s++
+					} else {
+						s--
+					}
+				}
+			} else {
+				for i, v := range a {
+					s += row[i] * v
+				}
+			}
+			z[o] = s
+		}
+		zs = append(zs, z)
+		if l < t.nLayers()-1 {
+			// Hidden activation: sign (binarization).
+			na := make([]float64, out)
+			for i, v := range z {
+				if v > 0 {
+					na[i] = 1
+				} else {
+					na[i] = -1
+				}
+			}
+			a = na
+		} else {
+			a = z
+		}
+	}
+	return zs, as
+}
+
+// softmaxCE returns the loss and dL/dlogits.
+func softmaxCE(logits []float64, label int) (float64, []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	exp := make([]float64, len(logits))
+	for i, v := range logits {
+		exp[i] = math.Exp(v - maxv)
+		sum += exp[i]
+	}
+	grad := make([]float64, len(logits))
+	for i := range logits {
+		p := exp[i] / sum
+		grad[i] = p
+		if i == label {
+			grad[i] -= 1
+		}
+	}
+	return -math.Log(exp[label]/sum + 1e-12), grad
+}
+
+// step runs one SGD step on a single sample and returns its loss.
+func (t *Trainer) step(x []float64, label int) float64 {
+	zs, as := t.forward(x)
+	loss, delta := softmaxCE(zs[t.nLayers()-1], label)
+	// Backward pass.
+	for l := t.nLayers() - 1; l >= 0; l-- {
+		in, out := t.sizes[l], t.sizes[l+1]
+		a := as[l]
+		// Gradient w.r.t. inputs, for the next (earlier) layer.
+		var din []float64
+		if l > 0 {
+			din = make([]float64, in)
+		}
+		for o := 0; o < out; o++ {
+			g := delta[o]
+			if g == 0 {
+				continue
+			}
+			row := t.w[l][o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				av := a[i]
+				if t.isBinary(l) {
+					// Forward used sign(w)·sign(a); STE passes the
+					// gradient to the shadow weight where |w| ≤ 1.
+					sa := 1.0
+					if av <= 0 {
+						sa = -1
+					}
+					if row[i] >= -1 && row[i] <= 1 {
+						row[i] -= t.lr * g * sa
+					}
+					if din != nil {
+						sw := 1.0
+						if t.w[l][o*in+i] <= 0 {
+							sw = -1
+						}
+						din[i] += g * sw
+					}
+				} else {
+					row[i] -= t.lr * g * av
+					if din != nil {
+						din[i] += g * t.w[l][o*in+i]
+					}
+				}
+			}
+			t.b[l][o] -= t.lr * g
+		}
+		if l > 0 {
+			// Through the sign activation: STE with a clipped pass-through.
+			// The clip bound scales with the fan-in because a binary
+			// layer's pre-activation is an integer dot in ±fanIn; a unit
+			// clip (the batch-norm-normalized convention) would zero
+			// essentially every gradient here.
+			bound := math.Sqrt(float64(t.sizes[l-1]))
+			z := zs[l-1]
+			for i := range din {
+				if z[i] < -bound || z[i] > bound {
+					din[i] = 0
+				}
+			}
+			delta = din
+		}
+	}
+	return loss
+}
+
+// TrainEpoch shuffles and SGD-steps through the dataset once, returning
+// the mean loss. xs[i] must have length Sizes[0].
+func (t *Trainer) TrainEpoch(xs [][]float64, labels []int) (float64, error) {
+	if len(xs) != len(labels) || len(xs) == 0 {
+		return 0, fmt.Errorf("bnn: %d samples vs %d labels", len(xs), len(labels))
+	}
+	perm := t.rng.Perm(len(xs))
+	var total float64
+	for _, i := range perm {
+		if len(xs[i]) != t.sizes[0] {
+			return 0, fmt.Errorf("bnn: sample %d has %d features, want %d", i, len(xs[i]), t.sizes[0])
+		}
+		total += t.step(xs[i], labels[i])
+	}
+	return total / float64(len(xs)), nil
+}
+
+// Accuracy evaluates top-1 accuracy with the binarized forward pass.
+func (t *Trainer) Accuracy(xs [][]float64, labels []int) float64 {
+	correct := 0
+	for i, x := range xs {
+		zs, _ := t.forward(x)
+		logits := zs[t.nLayers()-1]
+		best, bi := math.Inf(-1), 0
+		for j, v := range logits {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// Export freezes the trainer into an inference Model: the first layer
+// stays FP (followed by Sign), hidden layers become BinaryDense with
+// weights = sign(shadow) and thresholds 0, and the last layer stays FP.
+func (t *Trainer) Export(name string) *Model {
+	layers := make([]Layer, 0, t.nLayers()+1)
+	for l := 0; l < t.nLayers(); l++ {
+		in, out := t.sizes[l], t.sizes[l+1]
+		if t.isBinary(l) {
+			// The trainer computes sign(dot + bias); fold the bias into
+			// the integer threshold: dot + b > 0 ⟺ dot ≥ ⌊−b⌋ + 1
+			// (dot is an integer).
+			thresh := make([]int, out)
+			for o := range thresh {
+				thresh[o] = int(math.Floor(-t.b[l][o])) + 1
+			}
+			bd := &BinaryDense{
+				LayerName: fmt.Sprintf("fc%d-bin", l),
+				W:         floatsToBits(t.w[l], out, in),
+				Thresh:    thresh,
+			}
+			layers = append(layers, bd)
+			continue
+		}
+		w := tensor.NewFloat(out, in)
+		copy(w.Data(), t.w[l])
+		b := make([]float64, out)
+		copy(b, t.b[l])
+		layers = append(layers, &DenseFP{
+			LayerName: fmt.Sprintf("fc%d-fp", l), W: w, B: b,
+		})
+		if l == 0 {
+			layers = append(layers, &Sign{LayerName: "sign0"})
+		}
+	}
+	return &Model{
+		ModelName:  name,
+		InputShape: []int{t.sizes[0]},
+		Layers:     layers,
+		Classes:    t.sizes[len(t.sizes)-1],
+	}
+}
+
+func floatsToBits(w []float64, rows, cols int) *bitops.Matrix {
+	m := bitops.NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, w[r*cols+c] > 0)
+		}
+	}
+	return m
+}

@@ -1,0 +1,239 @@
+package bnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/tensor"
+)
+
+// The model zoo mirrors the paper's evaluation set (§V-C): six BNNs of
+// varying size from the MlBench suite — three multilayer perceptrons on
+// MNIST-scale inputs and three convolutional networks on MNIST/CIFAR
+//-scale inputs. The paper does not publish exact layer tables, so the
+// zoo uses representative MlBench/PRIME-style configurations spanning
+// roughly two orders of magnitude in XNOR+Popcount work, which is what
+// drives the network-to-network spread in Figs. 7–8.
+//
+// Weights are synthesized deterministically from a seed. TacitMap and
+// EinsteinBarrier are exact accelerations of the same arithmetic, so
+// model accuracy is orthogonal to the latency/energy evaluation (paper
+// §V-C: "neither TacitMap nor EinsteinBarrier affect the accuracy");
+// trained weights are only needed for the accuracy demos, which use the
+// STE trainer in train.go.
+
+// ZooNames lists the evaluation networks in the order used by the
+// figures.
+var ZooNames = []string{"CNN-S", "CNN-M", "CNN-L", "MLP-S", "MLP-M", "MLP-L"}
+
+// NewModel builds a zoo network by name with deterministically
+// synthesized weights.
+func NewModel(name string, seed int64) (*Model, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "MLP-S":
+		return newMLP(name, rng, []int{784, 1024, 1024, 512, 10}), nil
+	case "MLP-M":
+		return newMLP(name, rng, []int{784, 2048, 2048, 1024, 10}), nil
+	case "MLP-L":
+		return newMLP(name, rng, []int{784, 3072, 3072, 3072, 1536, 10}), nil
+	case "CNN-S":
+		return newCNNSmall(rng), nil
+	case "CNN-M":
+		return newCNNMedium(rng), nil
+	case "CNN-L":
+		return newCNNLarge(rng), nil
+	default:
+		return nil, fmt.Errorf("bnn: unknown zoo model %q (have %v)", name, ZooNames)
+	}
+}
+
+// Zoo instantiates all six evaluation networks.
+func Zoo(seed int64) ([]*Model, error) {
+	out := make([]*Model, 0, len(ZooNames))
+	for i, n := range ZooNames {
+		m, err := NewModel(n, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// newMLP builds sizes[0] → … → sizes[last]: FP input layer, binary
+// hidden layers, FP output layer.
+func newMLP(name string, rng *rand.Rand, sizes []int) *Model {
+	layers := []Layer{
+		randomDenseFP(rng, "fc0-fp", sizes[0], sizes[1], true),
+		&Sign{LayerName: "sign0"},
+	}
+	for i := 1; i < len(sizes)-2; i++ {
+		layers = append(layers, randomBinaryDense(rng,
+			fmt.Sprintf("fc%d-bin", i), sizes[i], sizes[i+1]))
+	}
+	last := len(sizes) - 2
+	layers = append(layers, randomDenseFP(rng, "fc-out-fp", sizes[last], sizes[last+1], false))
+	return &Model{
+		ModelName:  name,
+		InputShape: []int{sizes[0]},
+		Layers:     layers,
+		Classes:    sizes[len(sizes)-1],
+	}
+}
+
+// newCNNSmall is a LeNet-scale MNIST network.
+func newCNNSmall(rng *rand.Rand) *Model {
+	g1 := tensor.ConvGeom{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	g2 := tensor.ConvGeom{InC: 8, InH: 14, InW: 14, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	return &Model{
+		ModelName:  "CNN-S",
+		InputShape: []int{1, 28, 28},
+		Classes:    10,
+		Layers: []Layer{
+			randomConvFP(rng, "conv0-fp", g1, 8),
+			&Sign{LayerName: "sign0"},
+			&MaxPool2D{LayerName: "pool0", Size: 2},
+			randomBinaryConv(rng, "conv1-bin", g2, 16),
+			&MaxPool2D{LayerName: "pool1", Size: 2},
+			&Flatten{LayerName: "flatten"},
+			randomBinaryDense(rng, "fc0-bin", 16*7*7, 120),
+			randomBinaryDense(rng, "fc1-bin", 120, 84),
+			randomDenseFP(rng, "fc-out-fp", 84, 10, false),
+		},
+	}
+}
+
+// newCNNMedium is a mid-size CIFAR network.
+func newCNNMedium(rng *rand.Rand) *Model {
+	g0 := tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g1 := tensor.ConvGeom{InC: 64, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g2 := tensor.ConvGeom{InC: 64, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g3 := tensor.ConvGeom{InC: 128, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	return &Model{
+		ModelName:  "CNN-M",
+		InputShape: []int{3, 32, 32},
+		Classes:    10,
+		Layers: []Layer{
+			randomConvFP(rng, "conv0-fp", g0, 64),
+			&Sign{LayerName: "sign0"},
+			randomBinaryConv(rng, "conv1-bin", g1, 64),
+			&MaxPool2D{LayerName: "pool0", Size: 2},
+			randomBinaryConv(rng, "conv2-bin", g2, 128),
+			&MaxPool2D{LayerName: "pool1", Size: 2},
+			randomBinaryConv(rng, "conv3-bin", g3, 128),
+			&MaxPool2D{LayerName: "pool2", Size: 2},
+			&Flatten{LayerName: "flatten"},
+			randomBinaryDense(rng, "fc0-bin", 128*4*4, 1024),
+			randomDenseFP(rng, "fc-out-fp", 1024, 10, false),
+		},
+	}
+}
+
+// newCNNLarge is a VGG-scale CIFAR network.
+func newCNNLarge(rng *rand.Rand) *Model {
+	g0 := tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g1 := tensor.ConvGeom{InC: 128, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g2 := tensor.ConvGeom{InC: 128, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g3 := tensor.ConvGeom{InC: 256, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g4 := tensor.ConvGeom{InC: 256, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	g5 := tensor.ConvGeom{InC: 512, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	return &Model{
+		ModelName:  "CNN-L",
+		InputShape: []int{3, 32, 32},
+		Classes:    10,
+		Layers: []Layer{
+			randomConvFP(rng, "conv0-fp", g0, 128),
+			&Sign{LayerName: "sign0"},
+			randomBinaryConv(rng, "conv1-bin", g1, 128),
+			&MaxPool2D{LayerName: "pool0", Size: 2},
+			randomBinaryConv(rng, "conv2-bin", g2, 256),
+			randomBinaryConv(rng, "conv3-bin", g3, 256),
+			&MaxPool2D{LayerName: "pool1", Size: 2},
+			randomBinaryConv(rng, "conv4-bin", g4, 512),
+			randomBinaryConv(rng, "conv5-bin", g5, 512),
+			&MaxPool2D{LayerName: "pool2", Size: 2},
+			&Flatten{LayerName: "flatten"},
+			randomBinaryDense(rng, "fc0-bin", 512*4*4, 1024),
+			randomBinaryDense(rng, "fc1-bin", 1024, 1024),
+			randomDenseFP(rng, "fc-out-fp", 1024, 10, false),
+		},
+	}
+}
+
+// --- weight synthesis --------------------------------------------------
+
+func randomDenseFP(rng *rand.Rand, name string, in, out int, relu bool) *DenseFP {
+	w := tensor.NewFloat(out, in)
+	scale := 1.0 / float64(in)
+	for i := range w.Data() {
+		w.Data()[i] = rng.NormFloat64() * scale * 8
+	}
+	b := make([]float64, out)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 0.01
+	}
+	return &DenseFP{LayerName: name, W: w, B: b, ReLU: relu}
+}
+
+func randomConvFP(rng *rand.Rand, name string, g tensor.ConvGeom, outC int) *ConvFP {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	k := tensor.NewFloat(outC, g.PatchLen())
+	scale := 1.0 / float64(g.PatchLen())
+	for i := range k.Data() {
+		k.Data()[i] = rng.NormFloat64() * scale * 8
+	}
+	b := make([]float64, outC)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 0.01
+	}
+	return &ConvFP{LayerName: name, Geom: g, OutC: outC, K: k, B: b}
+}
+
+func randomBits(rng *rand.Rand, rows, cols int) *bitops.Matrix {
+	m := bitops.NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	return m
+}
+
+// randomThresholds draws small thresholds around zero; a zero threshold
+// is plain sign, non-zero values emulate folded batch-norm offsets.
+func randomThresholds(rng *rand.Rand, n, m int) []int {
+	t := make([]int, n)
+	spread := m / 16
+	if spread < 1 {
+		spread = 1
+	}
+	for i := range t {
+		t[i] = rng.Intn(2*spread+1) - spread
+	}
+	return t
+}
+
+func randomBinaryDense(rng *rand.Rand, name string, in, out int) *BinaryDense {
+	return &BinaryDense{
+		LayerName: name,
+		W:         randomBits(rng, out, in),
+		Thresh:    randomThresholds(rng, out, in),
+	}
+}
+
+func randomBinaryConv(rng *rand.Rand, name string, g tensor.ConvGeom, outC int) *BinaryConv2D {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &BinaryConv2D{
+		LayerName: name,
+		Geom:      g,
+		OutC:      outC,
+		K:         randomBits(rng, outC, g.PatchLen()),
+		Thresh:    randomThresholds(rng, outC, g.PatchLen()),
+	}
+}

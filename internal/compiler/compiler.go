@@ -1,0 +1,252 @@
+// Package compiler lowers a BNN model onto the EinsteinBarrier
+// architecture: it plans the crossbar tiling of every layer (TacitMap
+// or CustBinaryMap depending on the target design), allocates VCores,
+// estimates the NoC traffic between consecutive layers, and emits the
+// macro-op instruction stream (internal/isa) the simulator executes.
+//
+// It plays the role of the paper's "heavily extended version of the
+// PUMA architecture and compiler" (§V-A).
+package compiler
+
+import (
+	"fmt"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/core"
+	"einsteinbarrier/internal/isa"
+	"einsteinbarrier/internal/noc"
+)
+
+// LayerAlloc records where one layer lives and what it costs.
+type LayerAlloc struct {
+	// Name echoes the layer.
+	Name string
+	// Kind is "binary", "fp" or "shape".
+	Kind string
+	// VCores is the number of crossbars the layer occupies (0 for
+	// shape layers).
+	VCores int
+	// FirstVCore is the flat index of the first allocated crossbar.
+	FirstVCore int
+	// Steps is the critical-path macro-step count per inference.
+	Steps int64
+}
+
+// Compiled is the result of lowering one model for one design.
+type Compiled struct {
+	// Model and Design echo the inputs.
+	ModelName string
+	Design    arch.Design
+	// Program is the executable instruction stream.
+	Program isa.Program
+	// Allocs has one entry per model layer.
+	Allocs []LayerAlloc
+	// VCoresUsed is the total crossbar count allocated.
+	VCoresUsed int
+	// WeightWrites counts device programming operations at load time.
+	WeightWrites int64
+}
+
+// Compile lowers model onto cfg for the given design.
+func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := noc.DefaultConfig(cfg.MeshWidth())
+	avgHops := int(mesh.AverageHops() + 0.5)
+	k := cfg.EffectiveK(design)
+
+	c := &Compiled{ModelName: model.Name(), Design: design}
+	var prog isa.Program
+	next := 0 // next free flat VCore index
+
+	alloc := func(n int) int {
+		first := next
+		next += n
+		return first
+	}
+
+	for _, lc := range model.Costs() {
+		la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
+		switch lc.Kind {
+		case "binary":
+			ins, a, err := lowerBinary(lc, cfg, design, k, avgHops)
+			if err != nil {
+				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
+			}
+			la = a
+			la.FirstVCore = alloc(la.VCores)
+			prog = append(prog, ins...)
+			c.WeightWrites += int64(2 * lc.Work.N * lc.Work.M)
+		case "fp":
+			ins, a, err := lowerFP(lc, cfg, design, k, avgHops)
+			if err != nil {
+				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
+			}
+			la = a
+			la.FirstVCore = alloc(la.VCores)
+			prog = append(prog, ins...)
+			// Multi-bit weights: InputBits slices, 1 cell each.
+			c.WeightWrites += lc.MACs * int64(cfg.InputBits)
+		case "shape":
+			// Reshapes, pooling and binarization fuse into the producing
+			// layer's output path (OR-pooling and sign are single gates
+			// behind the threshold units) — no instructions, no traffic.
+			c.Allocs = append(c.Allocs, la)
+			continue
+		default:
+			return nil, fmt.Errorf("compiler: unknown layer kind %q", lc.Kind)
+		}
+		prog = append(prog, isa.Instruction{Op: isa.OpSync, Comment: lc.Name})
+		c.Allocs = append(c.Allocs, la)
+	}
+	prog = append(prog, isa.Instruction{Op: isa.OpHalt})
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if next > cfg.TotalVCores() {
+		return nil, fmt.Errorf("compiler: %s needs %d VCores, architecture has %d",
+			model.Name(), next, cfg.TotalVCores())
+	}
+	c.Program = prog
+	c.VCoresUsed = next
+	return c, nil
+}
+
+// lowerBinary emits the instruction sequence of one binary layer.
+func lowerBinary(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops int) (isa.Program, LayerAlloc, error) {
+	w := lc.Work
+	la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
+	var prog isa.Program
+	switch design {
+	case arch.BaselineEPCM:
+		// CustBinaryMap: the 2T2R array has CrossbarCols/2 logical
+		// columns. The baseline serializes vector operations (paper
+		// §II: "at most one single vector operation at a time").
+		plan, err := core.PlanCust(w.N, w.M, cfg.CrossbarRows, cfg.CrossbarCols/2)
+		if err != nil {
+			return nil, la, err
+		}
+		la.VCores = plan.Tiles()
+		steps := int64(plan.RowActivationsPerInput())
+		la.Steps = steps * int64(w.Positions)
+		prog = append(prog,
+			isa.Instruction{
+				Op: isa.OpRowStep, Count: steps, Repeat: int64(w.Positions),
+				Cells:   2 * int64(w.N) * int64(w.M), // (w,¬w) device pairs sensed per input
+				Comment: lc.Name,
+			},
+			isa.Instruction{
+				Op: isa.OpPopc, Count: int64(plan.PopcountOpsPerInput()) * int64(w.Positions),
+				Comment: lc.Name,
+			},
+		)
+		if adds := plan.DigitalAddsPerInput(); adds > 0 {
+			prog = append(prog, isa.Instruction{
+				Op: isa.OpAdd, Count: int64(adds) * int64(w.Positions), Comment: lc.Name,
+			})
+		}
+	case arch.TacitEPCM, arch.EinsteinBarrier:
+		plan, err := core.PlanTacit(w.N, w.M, cfg.CrossbarRows, cfg.CrossbarCols)
+		if err != nil {
+			return nil, la, err
+		}
+		la.VCores = plan.Tiles()
+		convs := int64(plan.ADCConversionsPerInput())
+		dacs := int64(plan.DACConversionsPerInput())
+		cells := 2 * int64(w.N) * int64(w.M) // [w;¬w] cells conducting per activation
+		if design == arch.EinsteinBarrier {
+			repeats := int64(ceilDiv(w.Positions, k))
+			la.Steps = repeats
+			kEff := int64(min(k, w.Positions))
+			prog = append(prog, isa.Instruction{
+				Op: isa.OpMMM, Tiles: plan.Tiles(), K: k, Repeat: repeats,
+				Convs: convs * kEff,
+				DACs:  dacs * kEff,
+				Cells: cells,
+				// Count = rows the transmitter modulates per stream
+				// ([x;¬x] slice, bounded by the array height).
+				Count:   int64(min(2*w.M, cfg.CrossbarRows)),
+				Comment: lc.Name,
+			})
+		} else {
+			la.Steps = int64(w.Positions)
+			prog = append(prog, isa.Instruction{
+				Op: isa.OpMVM, Tiles: plan.Tiles(), Repeat: int64(w.Positions),
+				Convs: convs, DACs: dacs, Cells: cells,
+				Comment: lc.Name,
+			})
+		}
+		if adds := plan.DigitalAddsPerInput(); adds > 0 {
+			prog = append(prog, isa.Instruction{
+				Op: isa.OpAdd, Count: int64(adds) * int64(w.Positions), Comment: lc.Name,
+			})
+		}
+	default:
+		return nil, la, fmt.Errorf("unknown design %v", design)
+	}
+	prog = append(prog,
+		isa.Instruction{Op: isa.OpThresh, Count: int64(w.N) * int64(w.Positions), Comment: lc.Name},
+		isa.Instruction{Op: isa.OpSend, Bytes: max(lc.ActivationBytes, 1), Hops: avgHops, Comment: lc.Name},
+	)
+	return prog, la, nil
+}
+
+// lowerFP emits the instruction sequence of a high-precision layer.
+// FP layers run identically on every CIM design except for the VCore
+// technology: multi-bit weights are bit-sliced across columns and the
+// activations are bit-streamed (InputBits sequential binary VMMs with
+// shift-and-add), the standard PUMA/ISAAC scheme. The compiler may
+// replicate a first conv layer FPReplication× to process positions in
+// parallel; EinsteinBarrier additionally WDM-batches positions.
+func lowerFP(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops int) (isa.Program, LayerAlloc, error) {
+	la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
+	positions := max(lc.Work.Positions, 1)
+	// Layers with many positions (first conv layers) are replicated so
+	// positions proceed in parallel; dense layers have one position and
+	// gain nothing from replication.
+	repl := 1
+	if positions > 1 {
+		repl = min(cfg.FPReplication, positions)
+	}
+	// Tiles to hold the N×M weights at InputBits slices per weight.
+	perReplica := int64(lc.Work.N) * int64(lc.Work.M) * int64(cfg.InputBits)
+	tiles := int(ceilDiv64(perReplica, int64(cfg.CellsPerVCore())))
+	if tiles < 1 {
+		tiles = 1
+	}
+	tiles *= repl
+	la.VCores = tiles
+
+	batched := ceilDiv(positions, repl)
+	if design == arch.EinsteinBarrier {
+		batched = ceilDiv(batched, k)
+	}
+	la.Steps = int64(batched) * int64(cfg.InputBits)
+	bits := int64(cfg.InputBits)
+	// Per repeat: every replica fires once per input-bit step — N·bits
+	// occupied columns convert on each of the bits steps.
+	prog := isa.Program{
+		isa.Instruction{
+			Op: isa.OpFPMVM, Tiles: tiles, Bits: cfg.InputBits, Repeat: int64(batched),
+			// K doubles as the input-stream (replica) count for FPMVM:
+			// each replica needs its own modulated transmitter stream.
+			K:       repl,
+			Convs:   int64(lc.Work.N) * bits * bits * int64(repl),
+			DACs:    int64(lc.Work.M) * bits * int64(repl),
+			Cells:   int64(lc.Work.N) * int64(lc.Work.M) * bits * int64(repl),
+			Count:   int64(min(lc.Work.M, cfg.CrossbarRows)),
+			Comment: lc.Name,
+		},
+		isa.Instruction{Op: isa.OpSend, Bytes: max(lc.ActivationBytes, 1), Hops: avgHops, Comment: lc.Name},
+	}
+	return prog, la, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }

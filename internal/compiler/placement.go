@@ -1,0 +1,115 @@
+package compiler
+
+import (
+	"fmt"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/isa"
+	"einsteinbarrier/internal/noc"
+)
+
+// Placement. Compile allocates VCores linearly and prices every SEND at
+// the mesh's *average* hop distance. This pass derives the actual tile
+// of each layer from its allocation, rewrites every SEND with the real
+// XY-routed hop count between producer and consumer tiles (plus
+// chip-to-chip hops when the allocation spills across nodes), and
+// reports the placement for inspection. Linear allocation is already a
+// good layout — consecutive layers land in nearby tiles — so this pass
+// mostly *tightens* the estimate; a custom placer can reorder Allocs
+// before calling it.
+
+// TileSpan is the tile footprint of one layer.
+type TileSpan struct {
+	Name string
+	// Node and Tile of the layer's first VCore; Tiles is how many tiles
+	// the layer spans.
+	Node, Tile, Tiles int
+}
+
+// Placement maps layers to tiles.
+type Placement struct {
+	Spans []TileSpan
+	// TotalHops is the sum over SEND instructions after rewriting.
+	TotalHops int
+	// ChipCrossings counts node-boundary transfers.
+	ChipCrossings int
+}
+
+// vcoresPerTile returns the VCore capacity of one tile.
+func vcoresPerTile(cfg arch.Config) int {
+	return cfg.ECoresPerTile * cfg.VCoresPerECore
+}
+
+// spanOf computes a layer's tile footprint from its allocation.
+func spanOf(a LayerAlloc, cfg arch.Config) TileSpan {
+	per := vcoresPerTile(cfg)
+	firstTileGlobal := a.FirstVCore / per
+	lastTileGlobal := firstTileGlobal
+	if a.VCores > 0 {
+		lastTileGlobal = (a.FirstVCore + a.VCores - 1) / per
+	}
+	return TileSpan{
+		Name:  a.Name,
+		Node:  firstTileGlobal / cfg.TilesPerNode,
+		Tile:  firstTileGlobal % cfg.TilesPerNode,
+		Tiles: lastTileGlobal - firstTileGlobal + 1,
+	}
+}
+
+// PlaceAndRewrite computes the placement implied by the compilation's
+// allocation and rewrites the program's SEND hop counts in place.
+func PlaceAndRewrite(c *Compiled, cfg arch.Config) (*Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := noc.DefaultConfig(cfg.MeshWidth())
+	p := &Placement{}
+	// Spans in program order, for layers that own VCores.
+	bySendOrder := make([]TileSpan, 0, len(c.Allocs))
+	for _, a := range c.Allocs {
+		if a.Kind == "shape" {
+			continue
+		}
+		span := spanOf(a, cfg)
+		p.Spans = append(p.Spans, span)
+		bySendOrder = append(bySendOrder, span)
+	}
+	// Rewrite SENDs: the i-th SEND moves activations from layer i to
+	// layer i+1 (the last SEND delivers the logits to the host: one
+	// chip hop, no mesh hops).
+	sendIdx := 0
+	for idx := range c.Program {
+		in := &c.Program[idx]
+		if in.Op != isa.OpSend {
+			continue
+		}
+		if sendIdx >= len(bySendOrder) {
+			return nil, fmt.Errorf("compiler: more SENDs than layers")
+		}
+		src := bySendOrder[sendIdx]
+		if sendIdx+1 < len(bySendOrder) {
+			dst := bySendOrder[sendIdx+1]
+			hops, err := mesh.Hops(src.Tile, dst.Tile)
+			if err != nil {
+				return nil, err
+			}
+			in.Hops = hops
+			if src.Node != dst.Node {
+				in.ChipHops = 1
+				p.ChipCrossings++
+			} else {
+				in.ChipHops = 0
+			}
+		} else {
+			in.Hops = 0
+			in.ChipHops = 1 // egress to the host memory controller
+			p.ChipCrossings++
+		}
+		p.TotalHops += in.Hops
+		sendIdx++
+	}
+	if sendIdx != len(bySendOrder) {
+		return nil, fmt.Errorf("compiler: %d SENDs for %d placed layers", sendIdx, len(bySendOrder))
+	}
+	return p, nil
+}

@@ -1,0 +1,115 @@
+package compiler
+
+import (
+	"testing"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/isa"
+)
+
+func TestPlaceAndRewriteBasics(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "CNN-M")
+	c, err := Compile(m, cfg, arch.TacitEPCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlaceAndRewrite(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Spans) == 0 {
+		t.Fatal("no spans")
+	}
+	if err := c.Program.Validate(); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+	// Every non-final SEND hop count must be a legal mesh distance.
+	maxHops := 2 * (cfg.MeshWidth() - 1)
+	for _, in := range c.Program {
+		if in.Op == isa.OpSend && in.Hops > maxHops {
+			t.Fatalf("SEND with %d hops exceeds mesh diameter %d", in.Hops, maxHops)
+		}
+	}
+	// The final SEND (logits to host) must cross the chip boundary.
+	var last isa.Instruction
+	for _, in := range c.Program {
+		if in.Op == isa.OpSend {
+			last = in
+		}
+	}
+	if last.ChipHops != 1 {
+		t.Fatal("final SEND must egress to the host")
+	}
+}
+
+func TestPlacementSpansConsistent(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "MLP-M")
+	c, _ := Compile(m, cfg, arch.TacitEPCM)
+	p, err := PlaceAndRewrite(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Spans {
+		if s.Node < 0 || s.Node >= cfg.Nodes {
+			t.Fatalf("%s: node %d out of range", s.Name, s.Node)
+		}
+		if s.Tile < 0 || s.Tile >= cfg.TilesPerNode {
+			t.Fatalf("%s: tile %d out of range", s.Name, s.Tile)
+		}
+		if s.Tiles < 1 {
+			t.Fatalf("%s: empty span", s.Name)
+		}
+	}
+}
+
+func TestPlacementLocalityBeatsWorstCase(t *testing.T) {
+	// Linear allocation keeps consecutive layers close: the average
+	// per-SEND hop count must be well below the mesh diameter.
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "CNN-S")
+	c, _ := Compile(m, cfg, arch.TacitEPCM)
+	p, err := PlaceAndRewrite(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := 0
+	for _, in := range c.Program {
+		if in.Op == isa.OpSend {
+			sends++
+		}
+	}
+	diameter := 2 * (cfg.MeshWidth() - 1)
+	if avg := float64(p.TotalHops) / float64(sends); avg > float64(diameter)/2 {
+		t.Fatalf("average hops %.1f too high for a local layout", avg)
+	}
+}
+
+func TestPlacementAcrossDesigns(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	for _, name := range bnn.ZooNames {
+		m := mustModel(t, name)
+		for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+			c, err := Compile(m, cfg, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := PlaceAndRewrite(c, cfg); err != nil {
+				t.Fatalf("%s/%v: %v", name, d, err)
+			}
+		}
+	}
+}
+
+func TestPlacementRejectsBadConfig(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "MLP-S")
+	c, _ := Compile(m, cfg, arch.TacitEPCM)
+	bad := cfg
+	bad.Nodes = 0
+	if _, err := PlaceAndRewrite(c, bad); err == nil {
+		t.Fatal("expected config error")
+	}
+}

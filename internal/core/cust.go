@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/crossbar"
+)
+
+// CustMapped is a BNN layer programmed onto 2T2R differential arrays
+// under the CustBinaryMap layout (the SotA baseline, Hirtzlin et al.).
+type CustMapped struct {
+	plan    CustPlan
+	cfg     crossbar.DiffConfig
+	weights *bitops.Matrix
+	// arrays[rowTile][colTile]
+	arrays [][]*crossbar.DiffArray
+	// tileRows[rt] and tileCols[ct] are the occupied extents.
+	tileRows []int
+	tileCols []int
+}
+
+// MapCust programs the n×m weight matrix onto differential arrays:
+// weight vector j occupies word line j%rows of row-tile ⌊j/rows⌋, with
+// its m bits split across column tiles of LogicalCols bits each.
+func MapCust(weights *bitops.Matrix, cfg crossbar.DiffConfig) (*CustMapped, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := PlanCust(weights.Rows(), weights.Cols(), cfg.Rows, cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	c := &CustMapped{
+		plan:     plan,
+		cfg:      cfg,
+		weights:  weights.Clone(),
+		arrays:   make([][]*crossbar.DiffArray, plan.RowTiles),
+		tileRows: make([]int, plan.RowTiles),
+		tileCols: make([]int, plan.ColTiles),
+	}
+	for ct := 0; ct < plan.ColTiles; ct++ {
+		bits := plan.LogicalCols
+		if ct == plan.ColTiles-1 {
+			bits = plan.M - ct*plan.LogicalCols
+		}
+		c.tileCols[ct] = bits
+	}
+	for rt := 0; rt < plan.RowTiles; rt++ {
+		rows := cfg.Rows
+		if rt == plan.RowTiles-1 {
+			rows = plan.N - rt*cfg.Rows
+		}
+		c.tileRows[rt] = rows
+		c.arrays[rt] = make([]*crossbar.DiffArray, plan.ColTiles)
+		for ct := 0; ct < plan.ColTiles; ct++ {
+			acfg := cfg
+			acfg.Seed = cfg.Seed + int64(rt*plan.ColTiles+ct+1)
+			arr, err := crossbar.NewDiffArray(acfg)
+			if err != nil {
+				return nil, err
+			}
+			layout := bitops.NewMatrix(cfg.Rows, cfg.Cols)
+			for r := 0; r < rows; r++ {
+				w := weights.Row(rt*cfg.Rows + r)
+				lo := ct * plan.LogicalCols
+				for b := 0; b < c.tileCols[ct]; b++ {
+					layout.Set(r, b, w.Get(lo+b))
+				}
+			}
+			if err := arr.Program(layout); err != nil {
+				return nil, err
+			}
+			c.arrays[rt][ct] = arr
+		}
+	}
+	return c, nil
+}
+
+// Plan returns the tiling geometry.
+func (c *CustMapped) Plan() CustPlan { return c.plan }
+
+// Weights returns a clone of the logical weight matrix.
+func (c *CustMapped) Weights() *bitops.Matrix { return c.weights.Clone() }
+
+// Execute performs the full XNOR+Popcount pass for input x: for every
+// weight vector, one word-line activation per column tile, PCSA sensing
+// and digital popcount, with partial sums merged across column tiles.
+func (c *CustMapped) Execute(x *bitops.Vector) ([]int, error) {
+	if x.Len() != c.plan.M {
+		return nil, fmt.Errorf("core: input length %d != m %d", x.Len(), c.plan.M)
+	}
+	out := make([]int, c.plan.N)
+	for rt := 0; rt < c.plan.RowTiles; rt++ {
+		for ct := 0; ct < c.plan.ColTiles; ct++ {
+			lo := ct * c.plan.LogicalCols
+			slice := x.Slice(lo, lo+c.tileCols[ct])
+			// Pad the drive to the physical column count; padding columns
+			// hold (0, 1) pairs which sense as XNOR(0, 0) = 1, so we only
+			// count the occupied prefix.
+			drive := bitops.NewVector(c.cfg.Cols)
+			for i := 0; i < slice.Len(); i++ {
+				if slice.Get(i) {
+					drive.Set(i)
+				}
+			}
+			for r := 0; r < c.tileRows[rt]; r++ {
+				bits, err := c.arrays[rt][ct].ReadRowXnor(r, drive)
+				if err != nil {
+					return nil, err
+				}
+				pc := 0
+				for b := 0; b < c.tileCols[ct]; b++ {
+					if bits.Get(b) {
+						pc++
+					}
+				}
+				out[rt*c.cfg.Rows+r] += pc
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExecuteBipolar returns the {-1,+1} dot products via Eq. (1).
+func (c *CustMapped) ExecuteBipolar(x *bitops.Vector) ([]int, error) {
+	pc, err := c.Execute(x)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pc {
+		pc[i] = 2*pc[i] - c.plan.M
+	}
+	return pc, nil
+}
+
+// Stats aggregates event counters across all tiles.
+func (c *CustMapped) Stats() crossbar.DiffStats {
+	var s crossbar.DiffStats
+	for _, row := range c.arrays {
+		for _, a := range row {
+			s.Add(a.Stats())
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes all tile counters.
+func (c *CustMapped) ResetStats() {
+	for _, row := range c.arrays {
+		for _, a := range row {
+			a.ResetStats()
+		}
+	}
+}

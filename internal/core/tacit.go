@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/crossbar"
+	"einsteinbarrier/internal/device"
+)
+
+// TacitMapped is a BNN layer programmed onto crossbar arrays under the
+// TacitMap layout, ready to execute XNOR+Popcount workloads.
+type TacitMapped struct {
+	plan    TacitPlan
+	cfg     crossbar.Config
+	weights *bitops.Matrix // n×m logical weights, kept for reference
+	// arrays[rowTile][colTile]
+	arrays [][]*crossbar.Array
+	// inputs[rowTile] caches the per-tile [x ; ¬x] drive vector length.
+	tileBits []int
+}
+
+// MapTacit programs the n×m weight matrix (one weight vector per row of
+// `weights`) onto arrays of the given configuration using TacitMap:
+// weight vector j becomes column j%cols of tile (⌊bit/BitsPerTile⌋,
+// ⌊j/cols⌋), stored as the slice [w ; ¬w].
+func MapTacit(weights *bitops.Matrix, cfg crossbar.Config) (*TacitMapped, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := PlanTacit(weights.Rows(), weights.Cols(), cfg.Rows, cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	t := &TacitMapped{
+		plan:     plan,
+		cfg:      cfg,
+		weights:  weights.Clone(),
+		arrays:   make([][]*crossbar.Array, plan.RowTiles),
+		tileBits: make([]int, plan.RowTiles),
+	}
+	for rt := 0; rt < plan.RowTiles; rt++ {
+		bits := plan.BitsPerTile
+		if rt == plan.RowTiles-1 {
+			bits = plan.M - rt*plan.BitsPerTile
+		}
+		t.tileBits[rt] = bits
+		t.arrays[rt] = make([]*crossbar.Array, plan.ColTiles)
+		for ct := 0; ct < plan.ColTiles; ct++ {
+			acfg := cfg
+			acfg.Seed = cfg.Seed + int64(rt*plan.ColTiles+ct+1)
+			arr, err := crossbar.NewArray(acfg)
+			if err != nil {
+				return nil, err
+			}
+			layout := bitops.NewMatrix(cfg.Rows, cfg.Cols)
+			lo, hi := rt*plan.BitsPerTile, rt*plan.BitsPerTile+bits
+			for j := 0; j < cfg.Cols; j++ {
+				w := ct*cfg.Cols + j
+				if w >= plan.N {
+					break
+				}
+				slice := weights.Row(w).Slice(lo, hi)
+				col := bitops.Concat(slice, slice.Not())
+				for r := 0; r < col.Len(); r++ {
+					layout.Set(r, j, col.Get(r))
+				}
+			}
+			if err := arr.Program(layout); err != nil {
+				return nil, err
+			}
+			t.arrays[rt][ct] = arr
+		}
+	}
+	return t, nil
+}
+
+// Plan returns the tiling geometry.
+func (t *TacitMapped) Plan() TacitPlan { return t.plan }
+
+// Weights returns a clone of the logical weight matrix.
+func (t *TacitMapped) Weights() *bitops.Matrix { return t.weights.Clone() }
+
+// driveVector builds the [x_slice ; ¬x_slice] row drive for tile rt,
+// zero-padded to the physical row count (undriven rows contribute no
+// signal, matching unused cells programmed to 0).
+func (t *TacitMapped) driveVector(x *bitops.Vector, rt int) *bitops.Vector {
+	lo := rt * t.plan.BitsPerTile
+	hi := lo + t.tileBits[rt]
+	slice := x.Slice(lo, hi)
+	pair := bitops.Concat(slice, slice.Not())
+	drive := bitops.NewVector(t.cfg.Rows)
+	for i := 0; i < pair.Len(); i++ {
+		if pair.Get(i) {
+			drive.Set(i)
+		}
+	}
+	return drive
+}
+
+// Execute performs one full XNOR+Popcount pass for input x (length m):
+// one VMM per tile plus the digital partial-sum adds, returning
+// Popcount(XNOR(x, W_j)) for every weight vector j.
+func (t *TacitMapped) Execute(x *bitops.Vector) ([]int, error) {
+	if x.Len() != t.plan.M {
+		return nil, fmt.Errorf("core: input length %d != m %d", x.Len(), t.plan.M)
+	}
+	out := make([]int, t.plan.N)
+	for rt := 0; rt < t.plan.RowTiles; rt++ {
+		drive := t.driveVector(x, rt)
+		for ct := 0; ct < t.plan.ColTiles; ct++ {
+			counts, err := t.arrays[rt][ct].VMM(drive)
+			if err != nil {
+				return nil, err
+			}
+			base := ct * t.cfg.Cols
+			for j := 0; j < t.cfg.Cols && base+j < t.plan.N; j++ {
+				out[base+j] += counts[j] // digital adder tree across row tiles
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExecuteMMM processes up to K input vectors in a single crossbar
+// activation per tile via WDM. Only valid on oPCM arrays. Returns
+// popcounts[k][j].
+func (t *TacitMapped) ExecuteMMM(xs []*bitops.Vector) ([][]int, error) {
+	if t.cfg.Tech != device.OPCM {
+		return nil, fmt.Errorf("core: ExecuteMMM requires oPCM arrays, have %v", t.cfg.Tech)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("core: ExecuteMMM with no inputs")
+	}
+	for i, x := range xs {
+		if x.Len() != t.plan.M {
+			return nil, fmt.Errorf("core: input %d length %d != m %d", i, x.Len(), t.plan.M)
+		}
+	}
+	out := make([][]int, len(xs))
+	for k := range out {
+		out[k] = make([]int, t.plan.N)
+	}
+	drives := make([]*bitops.Vector, len(xs))
+	for rt := 0; rt < t.plan.RowTiles; rt++ {
+		for k, x := range xs {
+			drives[k] = t.driveVector(x, rt)
+		}
+		for ct := 0; ct < t.plan.ColTiles; ct++ {
+			counts, err := t.arrays[rt][ct].MMM(drives)
+			if err != nil {
+				return nil, err
+			}
+			base := ct * t.cfg.Cols
+			for k := range xs {
+				for j := 0; j < t.cfg.Cols && base+j < t.plan.N; j++ {
+					out[k][base+j] += counts[k][j]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExecuteBipolar returns the {-1,+1} dot products via Eq. (1):
+// 2·popcount − m.
+func (t *TacitMapped) ExecuteBipolar(x *bitops.Vector) ([]int, error) {
+	pc, err := t.Execute(x)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pc {
+		pc[i] = 2*pc[i] - t.plan.M
+	}
+	return pc, nil
+}
+
+// Stats aggregates event counters across all tiles.
+func (t *TacitMapped) Stats() crossbar.Stats {
+	var s crossbar.Stats
+	for _, row := range t.arrays {
+		for _, a := range row {
+			s.Add(a.Stats())
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes all tile counters.
+func (t *TacitMapped) ResetStats() {
+	for _, row := range t.arrays {
+		for _, a := range row {
+			a.ResetStats()
+		}
+	}
+}
+
+// InjectFaults applies a stuck-at defect model to every tile (each tile
+// gets a distinct placement derived from the model's seed) and returns
+// the total number of logically flipped cells.
+func (t *TacitMapped) InjectFaults(f crossbar.FaultModel) (int, error) {
+	flipped := 0
+	i := int64(0)
+	for _, row := range t.arrays {
+		for _, a := range row {
+			tf := f
+			tf.Seed = f.Seed + i
+			i++
+			n, err := a.InjectFaults(tf)
+			if err != nil {
+				return flipped, err
+			}
+			flipped += n
+		}
+	}
+	return flipped, nil
+}
+
+// Age advances every tile's post-programming age — the ePCM
+// resistance-drift study (oPCM does not drift, paper §II-C).
+func (t *TacitMapped) Age(seconds float64) {
+	for _, row := range t.arrays {
+		for _, a := range row {
+			a.Age(seconds)
+		}
+	}
+}
+
+// FaultCount sums the injected defects across tiles.
+func (t *TacitMapped) FaultCount() int {
+	total := 0
+	for _, row := range t.arrays {
+		for _, a := range row {
+			total += a.FaultCount()
+		}
+	}
+	return total
+}

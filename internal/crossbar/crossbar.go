@@ -1,0 +1,354 @@
+// Package crossbar simulates analog in-memory compute arrays.
+//
+// Two array organizations from the paper are modeled:
+//
+//   - Array: a conventional 1T1R crossbar (one PCM device per cell) with
+//     DACs on the rows and ADCs on the columns. Driving a set of rows
+//     accumulates per-column cell currents (Kirchhoff) which the ADC
+//     decodes back to an integer count. This is the substrate TacitMap
+//     targets: all columns are evaluated in a single VMM step.
+//
+//   - DiffArray (differential.go): a 2T2R crossbar with a pre-charge
+//     sense amplifier (PCSA) per column pair, as used by the
+//     CustBinaryMap baseline (Hirtzlin et al.): one row is activated per
+//     step and each PCSA emits one XNOR bit, followed by digital
+//     popcount circuitry.
+//
+// Both organizations support ePCM (current-domain) and oPCM
+// (photocurrent-domain) cells from internal/device. All analog effects
+// — programming variability, read noise, drift, WDM crosstalk — are
+// injected at the device level, so decoding errors propagate to the
+// returned counts exactly as they would in hardware.
+package crossbar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/device"
+)
+
+// Config describes a 1T1R crossbar array.
+type Config struct {
+	// Rows and Cols are the physical array dimensions.
+	Rows, Cols int
+	// Tech selects the cell technology.
+	Tech device.Technology
+	// EPCM / OPCM hold the device parameters for the chosen technology.
+	EPCM device.EPCMParams
+	OPCM device.OPCMParams
+	// Seed seeds the array's private RNG. Ignored if Ideal.
+	Seed int64
+	// Ideal disables all variability and noise (ground-truth mode).
+	Ideal bool
+	// ColumnsPerADC is the ADC sharing factor: one ADC serves this many
+	// columns via an analog mux, serializing conversions. 1 = one ADC
+	// per column (the paper's footnote-1 idealization); the evaluation
+	// default is 8. Must divide nothing — ceil division is used.
+	ColumnsPerADC int
+	// ADCBits bounds the decodable count range to 2^ADCBits−1.
+	ADCBits int
+}
+
+// DefaultConfig returns the evaluation-default 256×256 array.
+func DefaultConfig(tech device.Technology) Config {
+	return Config{
+		Rows:          256,
+		Cols:          256,
+		Tech:          tech,
+		EPCM:          device.DefaultEPCMParams(),
+		OPCM:          device.DefaultOPCMParams(),
+		ColumnsPerADC: 8,
+		ADCBits:       9, // counts up to 511 ≥ 256 active rows
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows <= 0 || c.Cols <= 0:
+		return fmt.Errorf("crossbar: non-positive dims %dx%d", c.Rows, c.Cols)
+	case c.ColumnsPerADC <= 0:
+		return fmt.Errorf("crossbar: ColumnsPerADC must be ≥ 1, got %d", c.ColumnsPerADC)
+	case c.ADCBits <= 0 || c.ADCBits > 16:
+		return fmt.Errorf("crossbar: ADCBits %d outside [1,16]", c.ADCBits)
+	}
+	if (1<<uint(c.ADCBits))-1 < c.Rows {
+		return fmt.Errorf("crossbar: %d-bit ADC cannot encode counts up to %d rows", c.ADCBits, c.Rows)
+	}
+	switch c.Tech {
+	case device.EPCM:
+		return c.EPCM.Validate()
+	case device.OPCM:
+		return c.OPCM.Validate()
+	default:
+		return fmt.Errorf("crossbar: unknown technology %v", c.Tech)
+	}
+}
+
+// Stats counts the hardware events an array has performed. The
+// architecture simulator converts these into time and energy using the
+// cost tables in internal/energy.
+type Stats struct {
+	CellWrites     int64 // device programming events
+	VMMOps         int64 // whole-array analog VMM steps
+	RowActivations int64 // driven rows summed over VMM steps
+	ADCConversions int64 // analog→digital conversions
+	DACConversions int64 // digital→analog input conversions (driven rows)
+	WavelengthOps  int64 // per-wavelength column readouts (oPCM MMM)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.CellWrites += other.CellWrites
+	s.VMMOps += other.VMMOps
+	s.RowActivations += other.RowActivations
+	s.ADCConversions += other.ADCConversions
+	s.DACConversions += other.DACConversions
+	s.WavelengthOps += other.WavelengthOps
+}
+
+// Array is a programmed 1T1R crossbar.
+type Array struct {
+	cfg   Config
+	rng   *rand.Rand
+	ecell [][]*device.EPCMCell
+	ocell [][]*device.OPCMCell
+	// programmed mirrors the logical bits for introspection/tests.
+	programmed *bitops.Matrix
+	stats      Stats
+	// faults maps (row, col) → stuck state; reapplied after Program.
+	faults map[[2]int]bool
+}
+
+// NewArray allocates an unprogrammed array (all cells logic 0).
+func NewArray(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{cfg: cfg}
+	if !cfg.Ideal {
+		a.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	switch cfg.Tech {
+	case device.EPCM:
+		a.ecell = make([][]*device.EPCMCell, cfg.Rows)
+		for r := range a.ecell {
+			a.ecell[r] = make([]*device.EPCMCell, cfg.Cols)
+		}
+	case device.OPCM:
+		a.ocell = make([][]*device.OPCMCell, cfg.Rows)
+		for r := range a.ocell {
+			a.ocell[r] = make([]*device.OPCMCell, cfg.Cols)
+		}
+	}
+	a.programmed = bitops.NewMatrix(cfg.Rows, cfg.Cols)
+	a.programAll(a.programmed) // establish defined state in every cell
+	a.stats = Stats{}          // initial programming is free (manufacture)
+	return a, nil
+}
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Stats returns a copy of the accumulated event counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the event counters.
+func (a *Array) ResetStats() { a.stats = Stats{} }
+
+// Rows and Cols report the array dimensions.
+func (a *Array) Rows() int { return a.cfg.Rows }
+func (a *Array) Cols() int { return a.cfg.Cols }
+
+// Programmed returns the logical bit matrix currently stored (clone).
+func (a *Array) Programmed() *bitops.Matrix { return a.programmed.Clone() }
+
+// Program writes the given bit matrix into the array. The matrix must
+// match the array dimensions exactly; use internal/mapping for layouts
+// smaller than the array.
+func (a *Array) Program(m *bitops.Matrix) error {
+	if m.Rows() != a.cfg.Rows || m.Cols() != a.cfg.Cols {
+		return fmt.Errorf("crossbar: program %dx%d into %dx%d array",
+			m.Rows(), m.Cols(), a.cfg.Rows, a.cfg.Cols)
+	}
+	a.programAll(m)
+	a.programmed = m.Clone()
+	a.applyFaults() // defects survive reprogramming
+	return nil
+}
+
+func (a *Array) programAll(m *bitops.Matrix) {
+	for r := 0; r < a.cfg.Rows; r++ {
+		for c := 0; c < a.cfg.Cols; c++ {
+			bit := m.Get(r, c)
+			switch a.cfg.Tech {
+			case device.EPCM:
+				a.ecell[r][c] = device.NewEPCMCell(a.cfg.EPCM, bit, a.rng)
+			case device.OPCM:
+				a.ocell[r][c] = device.NewOPCMCell(a.cfg.OPCM, bit, a.rng)
+			}
+			a.stats.CellWrites++
+		}
+	}
+}
+
+// Age advances every cell's post-programming age (ePCM drift study).
+func (a *Array) Age(seconds float64) {
+	if a.cfg.Tech != device.EPCM {
+		return
+	}
+	for r := range a.ecell {
+		for c := range a.ecell[r] {
+			a.ecell[r][c].Age(seconds)
+		}
+	}
+}
+
+// columnSignal returns the accumulated analog signal of column c for the
+// driven row set (ePCM: current in A; oPCM: photocurrent in A).
+func (a *Array) columnSignal(input *bitops.Vector, c int) float64 {
+	sum := 0.0
+	for r := 0; r < a.cfg.Rows; r++ {
+		if !input.Get(r) {
+			continue
+		}
+		switch a.cfg.Tech {
+		case device.EPCM:
+			sum += a.ecell[r][c].ReadCurrent(a.rng)
+		case device.OPCM:
+			sum += a.ocell[r][c].Photocurrent(a.rng)
+		}
+	}
+	return sum
+}
+
+// unitLevels returns the per-cell ON and OFF signal contributions used
+// by the ADC decode.
+func (a *Array) unitLevels() (on, off float64) {
+	switch a.cfg.Tech {
+	case device.EPCM:
+		p := a.cfg.EPCM
+		return p.GOn * p.ReadVoltage, p.GOff * p.ReadVoltage
+	default:
+		p := a.cfg.OPCM
+		full := p.InputPowerMW * 1e-3 * p.Responsivity
+		return full * p.THigh, full * p.TLow
+	}
+}
+
+// decodeCount inverts the accumulation model: a column driven by k
+// active rows of which c store ON carries signal ≈ c·on + (k−c)·off, so
+// c ≈ (signal − k·off)/(on − off), clamped to the ADC range.
+func (a *Array) decodeCount(signal float64, activeRows int) int {
+	on, off := a.unitLevels()
+	est := (signal - float64(activeRows)*off) / (on - off)
+	n := int(math.Round(est))
+	if n < 0 {
+		n = 0
+	}
+	maxCount := (1 << uint(a.cfg.ADCBits)) - 1
+	if n > maxCount {
+		n = maxCount
+	}
+	if n > activeRows {
+		n = activeRows
+	}
+	return n
+}
+
+// VMM performs one analog vector-matrix multiplication: input bit i
+// drives row i, and every column's accumulated signal is converted by
+// the (shared) ADCs. The returned slice holds, per column, the decoded
+// count of ON cells among the driven rows — for a TacitMap-programmed
+// column this is exactly Popcount(XNOR(x, w)).
+func (a *Array) VMM(input *bitops.Vector) ([]int, error) {
+	if input.Len() != a.cfg.Rows {
+		return nil, fmt.Errorf("crossbar: input length %d != rows %d", input.Len(), a.cfg.Rows)
+	}
+	active := input.Popcount()
+	out := make([]int, a.cfg.Cols)
+	for c := 0; c < a.cfg.Cols; c++ {
+		out[c] = a.decodeCount(a.columnSignal(input, c), active)
+	}
+	a.stats.VMMOps++
+	a.stats.RowActivations += int64(active)
+	a.stats.DACConversions += int64(active)
+	a.stats.ADCConversions += int64(a.cfg.Cols)
+	return out, nil
+}
+
+// ADCStepsPerVMM returns how many sequential ADC conversion rounds one
+// VMM needs under the configured ADC sharing (ceil(cols / adcCount)
+// with one ADC per ColumnsPerADC columns — i.e. ColumnsPerADC rounds).
+func (a *Array) ADCStepsPerVMM() int { return a.cfg.ColumnsPerADC }
+
+// MMM performs a wavelength-division-multiplexed matrix-matrix multiply
+// on an oPCM array: each input vector rides its own wavelength through
+// the same column, and per-column per-wavelength photodetection recovers
+// one count per (column, wavelength). Crosstalk couples a fraction of
+// the aggregate other-wavelength signal into each channel before
+// decoding. Returns counts[k][col] for input k.
+//
+// Calling MMM on an ePCM array returns an error: frequency multiplexing
+// has no electrical equivalent (paper §II-C).
+func (a *Array) MMM(inputs []*bitops.Vector) ([][]int, error) {
+	if a.cfg.Tech != device.OPCM {
+		return nil, fmt.Errorf("crossbar: MMM requires oPCM, array is %v", a.cfg.Tech)
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("crossbar: MMM with no inputs")
+	}
+	for i, in := range inputs {
+		if in.Len() != a.cfg.Rows {
+			return nil, fmt.Errorf("crossbar: input %d length %d != rows %d", i, in.Len(), a.cfg.Rows)
+		}
+	}
+	k := len(inputs)
+	xt := a.cfg.OPCM.CrossTalkLinear()
+	out := make([][]int, k)
+	signals := make([][]float64, k)
+	for i, in := range inputs {
+		signals[i] = make([]float64, a.cfg.Cols)
+		for c := 0; c < a.cfg.Cols; c++ {
+			signals[i][c] = a.columnSignal(in, c)
+		}
+	}
+	for i, in := range inputs {
+		out[i] = make([]int, a.cfg.Cols)
+		active := in.Popcount()
+		for c := 0; c < a.cfg.Cols; c++ {
+			s := signals[i][c]
+			if xt > 0 && k > 1 {
+				var other float64
+				for j := range signals {
+					if j != i {
+						other += signals[j][c]
+					}
+				}
+				s += xt * other
+			}
+			out[i][c] = a.decodeCount(s, active)
+		}
+		a.stats.WavelengthOps += int64(a.cfg.Cols)
+		a.stats.DACConversions += int64(active)
+		a.stats.ADCConversions += int64(a.cfg.Cols)
+	}
+	// One physical crossbar activation regardless of K — the source of
+	// EinsteinBarrier's energy advantage (paper §VI-B observation 2).
+	a.stats.VMMOps++
+	a.stats.RowActivations += int64(maxActive(inputs))
+	return out, nil
+}
+
+func maxActive(inputs []*bitops.Vector) int {
+	m := 0
+	for _, in := range inputs {
+		if pc := in.Popcount(); pc > m {
+			m = pc
+		}
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+package crossbar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/device"
+)
+
+// DiffConfig describes a 2T2R differential crossbar with pre-charge
+// sense amplifiers (PCSA), the organization used by the CustBinaryMap
+// baseline (Hirtzlin et al., Frontiers in Neuroscience 2020).
+//
+// Each logical cell is a device pair (d, d̄) storing a bit and its
+// complement. One word line is activated per step; the interleaved
+// input (x, x̄) gates the bit-line pair, and each PCSA resolves one
+// XNOR(x_j, w_j) bit by differential sensing. A digital 5-bit counter
+// per column plus a popcount tree then accumulate the row popcount —
+// the "additional digital circuitry" TacitMap eliminates (paper §III).
+type DiffConfig struct {
+	// Rows is the number of word lines (logical weight vectors).
+	Rows int
+	// Cols is the number of logical columns (bits per weight vector);
+	// the physical array is Rows × 2·Cols devices.
+	Cols int
+	// EPCM holds the device parameters (the baseline is electrical).
+	EPCM device.EPCMParams
+	// Seed / Ideal as in Config.
+	Seed  int64
+	Ideal bool
+}
+
+// DefaultDiffConfig mirrors DefaultConfig's geometry for the baseline.
+func DefaultDiffConfig() DiffConfig {
+	return DiffConfig{Rows: 256, Cols: 128, EPCM: device.DefaultEPCMParams()}
+}
+
+// Validate checks the configuration.
+func (c DiffConfig) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("crossbar: non-positive diff dims %dx%d", c.Rows, c.Cols)
+	}
+	return c.EPCM.Validate()
+}
+
+// DiffStats counts events specific to the differential organization.
+type DiffStats struct {
+	CellWrites     int64 // physical device writes (2 per logical bit)
+	RowActivations int64 // sequential word-line steps
+	PCSASenses     int64 // sense-amplifier resolutions
+	PopcountOps    int64 // digital popcount tree operations
+}
+
+// Add accumulates other into s.
+func (s *DiffStats) Add(o DiffStats) {
+	s.CellWrites += o.CellWrites
+	s.RowActivations += o.RowActivations
+	s.PCSASenses += o.PCSASenses
+	s.PopcountOps += o.PopcountOps
+}
+
+// DiffArray is a programmed 2T2R array.
+type DiffArray struct {
+	cfg   DiffConfig
+	rng   *rand.Rand
+	pos   [][]*device.EPCMCell // stores w
+	neg   [][]*device.EPCMCell // stores ¬w
+	bits  *bitops.Matrix
+	stats DiffStats
+}
+
+// NewDiffArray allocates an all-zero 2T2R array.
+func NewDiffArray(cfg DiffConfig) (*DiffArray, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &DiffArray{cfg: cfg}
+	if !cfg.Ideal {
+		a.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	a.pos = make([][]*device.EPCMCell, cfg.Rows)
+	a.neg = make([][]*device.EPCMCell, cfg.Rows)
+	for r := range a.pos {
+		a.pos[r] = make([]*device.EPCMCell, cfg.Cols)
+		a.neg[r] = make([]*device.EPCMCell, cfg.Cols)
+	}
+	a.bits = bitops.NewMatrix(cfg.Rows, cfg.Cols)
+	a.programAll(a.bits)
+	a.stats = DiffStats{}
+	return a, nil
+}
+
+// Config returns the array configuration.
+func (a *DiffArray) Config() DiffConfig { return a.cfg }
+
+// Stats returns a copy of the event counters.
+func (a *DiffArray) Stats() DiffStats { return a.stats }
+
+// ResetStats zeroes the counters.
+func (a *DiffArray) ResetStats() { a.stats = DiffStats{} }
+
+// Rows and Cols report logical dimensions.
+func (a *DiffArray) Rows() int { return a.cfg.Rows }
+func (a *DiffArray) Cols() int { return a.cfg.Cols }
+
+// Program stores the logical bit matrix; each bit programs the (w, ¬w)
+// device pair.
+func (a *DiffArray) Program(m *bitops.Matrix) error {
+	if m.Rows() != a.cfg.Rows || m.Cols() != a.cfg.Cols {
+		return fmt.Errorf("crossbar: program %dx%d into diff %dx%d",
+			m.Rows(), m.Cols(), a.cfg.Rows, a.cfg.Cols)
+	}
+	a.programAll(m)
+	a.bits = m.Clone()
+	return nil
+}
+
+func (a *DiffArray) programAll(m *bitops.Matrix) {
+	for r := 0; r < a.cfg.Rows; r++ {
+		for c := 0; c < a.cfg.Cols; c++ {
+			bit := m.Get(r, c)
+			a.pos[r][c] = device.NewEPCMCell(a.cfg.EPCM, bit, a.rng)
+			a.neg[r][c] = device.NewEPCMCell(a.cfg.EPCM, !bit, a.rng)
+			a.stats.CellWrites += 2
+		}
+	}
+}
+
+// ReadRowXnor activates word line row with the interleaved input pair
+// (x on the direct bit lines, ¬x on the complement bit lines) and
+// resolves the per-column PCSA outputs: out[j] = XNOR(x_j, w_{row,j}).
+//
+// Physically: the cell pair contributes current x_j·g(w_j) + x̄_j·g(¬w_j);
+// that sum is ≈ g_on when x_j == w_j and ≈ g_off otherwise, so the PCSA
+// thresholds at the midpoint. Device noise can flip marginal senses,
+// which the tests quantify.
+func (a *DiffArray) ReadRowXnor(row int, x *bitops.Vector) (*bitops.Vector, error) {
+	if row < 0 || row >= a.cfg.Rows {
+		return nil, fmt.Errorf("crossbar: row %d out of range [0,%d)", row, a.cfg.Rows)
+	}
+	if x.Len() != a.cfg.Cols {
+		return nil, fmt.Errorf("crossbar: input length %d != cols %d", x.Len(), a.cfg.Cols)
+	}
+	p := a.cfg.EPCM
+	threshold := (p.GOn + p.GOff) / 2 * p.ReadVoltage
+	out := bitops.NewVector(a.cfg.Cols)
+	for c := 0; c < a.cfg.Cols; c++ {
+		var i float64
+		if x.Get(c) {
+			i += a.pos[row][c].ReadCurrent(a.rng)
+		} else {
+			i += a.neg[row][c].ReadCurrent(a.rng)
+		}
+		if i > threshold {
+			out.Set(c)
+		}
+		a.stats.PCSASenses++
+	}
+	a.stats.RowActivations++
+	return out, nil
+}
+
+// RowXnorPopcount performs one full CustBinaryMap step: activate a row,
+// sense all PCSAs, then run the digital popcount tree over the sensed
+// bits. This is the 2-step (sense + count) operation the paper contrasts
+// with TacitMap's single analog step.
+func (a *DiffArray) RowXnorPopcount(row int, x *bitops.Vector) (int, error) {
+	bitsOut, err := a.ReadRowXnor(row, x)
+	if err != nil {
+		return 0, err
+	}
+	a.stats.PopcountOps++
+	return bitsOut.Popcount(), nil
+}
+
+// AllRowsXnorPopcount processes every stored weight vector sequentially
+// — n steps for n rows, the baseline's fundamental serialization.
+func (a *DiffArray) AllRowsXnorPopcount(x *bitops.Vector) ([]int, error) {
+	out := make([]int, a.cfg.Rows)
+	for r := 0; r < a.cfg.Rows; r++ {
+		pc, err := a.RowXnorPopcount(r, x)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = pc
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package crossbar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/device"
+)
+
+// Fault injection. PCM arrays ship with stuck-at defects (cells whose
+// phase can no longer be switched: stuck-SET from void formation,
+// stuck-RESET from delamination). BNN accelerators tolerate a modest
+// defect density because a flipped weight bit shifts one popcount by at
+// most one — this file lets tests and studies quantify that margin for
+// both array organizations.
+
+// FaultModel describes a stuck-at defect population.
+type FaultModel struct {
+	// StuckOnRate is the fraction of cells stuck in the ON
+	// (low-resistance / transparent) state.
+	StuckOnRate float64
+	// StuckOffRate is the fraction stuck OFF.
+	StuckOffRate float64
+	// Seed drives defect placement.
+	Seed int64
+}
+
+// Validate checks the model.
+func (f FaultModel) Validate() error {
+	if f.StuckOnRate < 0 || f.StuckOffRate < 0 || f.StuckOnRate+f.StuckOffRate > 1 {
+		return fmt.Errorf("crossbar: bad fault rates on=%g off=%g", f.StuckOnRate, f.StuckOffRate)
+	}
+	return nil
+}
+
+// InjectFaults overwrites a random subset of cells with stuck states.
+// It returns the number of cells whose *logical* content changed (a
+// stuck-ON fault under a stored 1 is harmless). Subsequent Program
+// calls do not heal the defects: the fault map is reapplied.
+func (a *Array) InjectFaults(f FaultModel) (flipped int, err error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	a.faults = make(map[[2]int]bool)
+	for r := 0; r < a.cfg.Rows; r++ {
+		for c := 0; c < a.cfg.Cols; c++ {
+			u := rng.Float64()
+			var stuck, state bool
+			switch {
+			case u < f.StuckOnRate:
+				stuck, state = true, true
+			case u < f.StuckOnRate+f.StuckOffRate:
+				stuck, state = true, false
+			}
+			if !stuck {
+				continue
+			}
+			a.faults[[2]int{r, c}] = state
+			if a.programmed.Get(r, c) != state {
+				flipped++
+			}
+		}
+	}
+	a.applyFaults()
+	return flipped, nil
+}
+
+// applyFaults forces every defective cell to its stuck state.
+func (a *Array) applyFaults() {
+	for pos, state := range a.faults {
+		r, c := pos[0], pos[1]
+		switch a.cfg.Tech {
+		case device.EPCM:
+			a.ecell[r][c] = device.NewEPCMCell(a.cfg.EPCM, state, a.rng)
+		case device.OPCM:
+			a.ocell[r][c] = device.NewOPCMCell(a.cfg.OPCM, state, a.rng)
+		}
+	}
+}
+
+// FaultCount returns the number of injected defects.
+func (a *Array) FaultCount() int { return len(a.faults) }
+
+// EffectiveBits returns the logical matrix actually stored, i.e. the
+// programmed bits with stuck cells overridden — what the analog compute
+// really sees.
+func (a *Array) EffectiveBits() *bitops.Matrix {
+	m := a.programmed.Clone()
+	for pos, state := range a.faults {
+		m.Set(pos[0], pos[1], state)
+	}
+	return m
+}
+
+// MaxPopcountError returns, for a faulty TacitMap-style array, the
+// worst-case absolute popcount deviation of any column: each stuck cell
+// in a column shifts that column's count by at most one.
+func (a *Array) MaxPopcountError() int {
+	perCol := make(map[int]int)
+	for pos := range a.faults {
+		perCol[pos[1]]++
+	}
+	worst := 0
+	for _, n := range perCol {
+		if n > worst {
+			worst = n
+		}
+	}
+	return worst
+}

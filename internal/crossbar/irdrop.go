@@ -1,0 +1,110 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"einsteinbarrier/internal/bitops"
+	"einsteinbarrier/internal/device"
+)
+
+// IR drop. In a real electrical crossbar the word/bit lines have finite
+// wire resistance, so a cell far from the drivers sees a degraded read
+// voltage that scales with the aggregate current flowing through the
+// shared wire — the classic reason electrical crossbars do not scale
+// arbitrarily (paper §II: "large capacitances of the wiring within the
+// memory IP ... limits their scalability") and one of the physical
+// motivations for the optical VCores, whose waveguides carry no such
+// resistive accumulation.
+//
+// The model is the standard first-order lumped approximation: the
+// voltage at cell (r, c) is attenuated by the current drawn through the
+// r upstream word-line segments and c upstream bit-line segments, each
+// of resistance SegmentOhm, with the aggregate current estimated from
+// the active-row count:
+//
+//	V_eff(r,c) = V / (1 + SegmentOhm · (r + c) · G_on · activeRows/2)
+//
+// It is deliberately conservative and monotone: attenuation grows with
+// distance, array size, wire resistance and workload density, which is
+// all the evaluation needs (exact SPICE-level solves are out of scope).
+
+// IRDropModel parameterizes the wire non-ideality.
+type IRDropModel struct {
+	// SegmentOhm is the wire resistance of one cell-to-cell segment.
+	// Typical advanced-node metal: 0.5–5 Ω per segment.
+	SegmentOhm float64
+}
+
+// Validate checks the model.
+func (m IRDropModel) Validate() error {
+	if m.SegmentOhm < 0 {
+		return fmt.Errorf("crossbar: negative segment resistance %g", m.SegmentOhm)
+	}
+	return nil
+}
+
+// attenuation returns the multiplicative voltage factor at (r, c).
+func (m IRDropModel) attenuation(r, c, activeRows int, gOn float64) float64 {
+	if m.SegmentOhm == 0 {
+		return 1
+	}
+	return 1 / (1 + m.SegmentOhm*float64(r+c)*gOn*float64(activeRows)/2)
+}
+
+// VMMWithIRDrop performs a VMM with the wire model applied. Only
+// meaningful for ePCM arrays (optical waveguides do not accumulate
+// resistive drop); calling it on an oPCM array returns an error.
+func (a *Array) VMMWithIRDrop(input *bitops.Vector, m IRDropModel) ([]int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if a.cfg.Tech != device.EPCM {
+		return nil, fmt.Errorf("crossbar: IR drop applies to ePCM arrays, have %v", a.cfg.Tech)
+	}
+	if input.Len() != a.cfg.Rows {
+		return nil, fmt.Errorf("crossbar: input length %d != rows %d", input.Len(), a.cfg.Rows)
+	}
+	active := input.Popcount()
+	gOn := a.cfg.EPCM.GOn
+	out := make([]int, a.cfg.Cols)
+	for c := 0; c < a.cfg.Cols; c++ {
+		sum := 0.0
+		for r := 0; r < a.cfg.Rows; r++ {
+			if !input.Get(r) {
+				continue
+			}
+			sum += a.ecell[r][c].ReadCurrent(a.rng) * m.attenuation(r, c, active, gOn)
+		}
+		out[c] = a.decodeCount(sum, active)
+	}
+	a.stats.VMMOps++
+	a.stats.RowActivations += int64(active)
+	a.stats.DACConversions += int64(active)
+	a.stats.ADCConversions += int64(a.cfg.Cols)
+	return out, nil
+}
+
+// WorstCaseAttenuation reports the voltage factor at the far corner of
+// the array under a fully active input — the design-time scaling check.
+func (a *Array) WorstCaseAttenuation(m IRDropModel) float64 {
+	return m.attenuation(a.cfg.Rows-1, a.cfg.Cols-1, a.cfg.Rows, a.cfg.EPCM.GOn)
+}
+
+// MaxCleanArraySize returns the largest square array dimension whose
+// worst-case attenuation stays above minFactor with this wire model —
+// the electrical scaling limit the photonic design sidesteps.
+func (m IRDropModel) MaxCleanArraySize(p device.EPCMParams, minFactor float64) int {
+	if m.SegmentOhm == 0 {
+		return 1 << 20 // effectively unbounded
+	}
+	best := 0
+	for n := 2; n <= 4096; n *= 2 {
+		att := m.attenuation(n-1, n-1, n, p.GOn)
+		if att >= minFactor {
+			best = n
+		} else {
+			break
+		}
+	}
+	return best
+}

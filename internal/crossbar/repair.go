@@ -1,0 +1,104 @@
+package crossbar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column repair. Memory arrays ship with spare columns; a post-test
+// repair pass steers logical columns away from the worst physical
+// columns via the column decoder's remap registers. For a TacitMap
+// array this directly bounds the popcount error: after repair, the
+// remaining defects-per-used-column is minimized.
+
+// RepairPlan is the outcome of planning a repair.
+type RepairPlan struct {
+	// Spares is the number of spare (unused) physical columns available.
+	Spares int
+	// Remapped lists physical columns taken out of service, worst first.
+	Remapped []int
+	// ResidualWorst is the defect count of the worst column still in
+	// service after repair.
+	ResidualWorst int
+}
+
+// PlanRepair chooses which physical columns to retire. usedCols is how
+// many logical columns the mapping needs; the rest of the array is
+// spare. Columns are retired in decreasing defect count until spares
+// run out or no defective columns remain.
+func (a *Array) PlanRepair(usedCols int) (RepairPlan, error) {
+	if usedCols < 0 || usedCols > a.cfg.Cols {
+		return RepairPlan{}, fmt.Errorf("crossbar: usedCols %d outside [0,%d]", usedCols, a.cfg.Cols)
+	}
+	plan := RepairPlan{Spares: a.cfg.Cols - usedCols}
+	defects := make(map[int]int)
+	for pos := range a.faults {
+		defects[pos[1]]++
+	}
+	type colDefects struct{ col, n int }
+	var ranked []colDefects
+	for c, n := range defects {
+		ranked = append(ranked, colDefects{c, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].col < ranked[j].col
+	})
+	for i, cd := range ranked {
+		if i >= plan.Spares {
+			plan.ResidualWorst = cd.n
+			break
+		}
+		plan.Remapped = append(plan.Remapped, cd.col)
+	}
+	return plan, nil
+}
+
+// ColumnMap returns the logical→physical column assignment implied by a
+// repair plan: logical columns fill the healthy physical columns in
+// order, skipping retired ones. It errs if the plan retires so many
+// columns that usedCols no longer fit.
+func (a *Array) ColumnMap(usedCols int, plan RepairPlan) ([]int, error) {
+	retired := make(map[int]bool, len(plan.Remapped))
+	for _, c := range plan.Remapped {
+		retired[c] = true
+	}
+	out := make([]int, 0, usedCols)
+	for c := 0; c < a.cfg.Cols && len(out) < usedCols; c++ {
+		if !retired[c] {
+			out = append(out, c)
+		}
+	}
+	if len(out) < usedCols {
+		return nil, fmt.Errorf("crossbar: only %d healthy columns for %d logical", len(out), usedCols)
+	}
+	return out, nil
+}
+
+// RepairEffectiveness reports the worst-column defect count before and
+// after applying the plan — the quantity that bounds popcount error.
+func (a *Array) RepairEffectiveness(usedCols int, plan RepairPlan) (before, after int, err error) {
+	before = a.MaxPopcountError()
+	colMap, err := a.ColumnMap(usedCols, plan)
+	if err != nil {
+		return 0, 0, err
+	}
+	inService := make(map[int]bool, len(colMap))
+	for _, c := range colMap {
+		inService[c] = true
+	}
+	perCol := make(map[int]int)
+	for pos := range a.faults {
+		if inService[pos[1]] {
+			perCol[pos[1]]++
+		}
+	}
+	for _, n := range perCol {
+		if n > after {
+			after = n
+		}
+	}
+	return before, after, nil
+}

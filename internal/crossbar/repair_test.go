@@ -1,0 +1,108 @@
+package crossbar
+
+import (
+	"testing"
+
+	"einsteinbarrier/internal/device"
+)
+
+func faultyArray(t *testing.T, rate float64) *Array {
+	t.Helper()
+	cfg := smallConfig(device.EPCM, true, 0)
+	arr, err := NewArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arr.InjectFaults(FaultModel{StuckOnRate: rate / 2, StuckOffRate: rate / 2, Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestPlanRepairBounds(t *testing.T) {
+	arr := faultyArray(t, 0.1)
+	if _, err := arr.PlanRepair(-1); err == nil {
+		t.Fatal("negative usedCols should fail")
+	}
+	if _, err := arr.PlanRepair(arr.Cols() + 1); err == nil {
+		t.Fatal("oversized usedCols should fail")
+	}
+}
+
+func TestRepairRetiresWorstColumns(t *testing.T) {
+	arr := faultyArray(t, 0.15)
+	used := arr.Cols() - 8 // 8 spares
+	plan, err := arr.PlanRepair(used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spares != 8 {
+		t.Fatalf("spares = %d", plan.Spares)
+	}
+	if len(plan.Remapped) == 0 || len(plan.Remapped) > 8 {
+		t.Fatalf("remapped %d columns with 8 spares", len(plan.Remapped))
+	}
+	before, after, err := arr.RepairEffectiveness(used, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("repair made things worse: %d → %d", before, after)
+	}
+	if before > 0 && after == before && len(plan.Remapped) == 8 {
+		// With the worst columns retired the residual must improve
+		// unless all columns were equally bad (vanishingly unlikely at
+		// this density and size).
+		t.Fatalf("retiring 8 worst columns did not improve worst case (%d)", before)
+	}
+}
+
+func TestColumnMapSkipsRetired(t *testing.T) {
+	arr := faultyArray(t, 0.2)
+	used := arr.Cols() - 4
+	plan, err := arr.PlanRepair(used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colMap, err := arr.ColumnMap(used, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colMap) != used {
+		t.Fatalf("column map has %d entries, want %d", len(colMap), used)
+	}
+	retired := make(map[int]bool)
+	for _, c := range plan.Remapped {
+		retired[c] = true
+	}
+	seen := make(map[int]bool)
+	for _, c := range colMap {
+		if retired[c] {
+			t.Fatalf("retired column %d still in service", c)
+		}
+		if seen[c] {
+			t.Fatalf("column %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestColumnMapErrsWhenOverRetired(t *testing.T) {
+	arr := faultyArray(t, 0.1)
+	plan := RepairPlan{Remapped: []int{0, 1, 2, 3}}
+	if _, err := arr.ColumnMap(arr.Cols(), plan); err == nil {
+		t.Fatal("expected error: all columns used but 4 retired")
+	}
+}
+
+func TestRepairNoFaultsNoop(t *testing.T) {
+	cfg := smallConfig(device.EPCM, true, 0)
+	arr, _ := NewArray(cfg)
+	plan, err := arr.PlanRepair(arr.Cols() - 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Remapped) != 0 || plan.ResidualWorst != 0 {
+		t.Fatalf("healthy array produced repairs: %+v", plan)
+	}
+}

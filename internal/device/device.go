@@ -1,0 +1,186 @@
+// Package device models the non-volatile memory cells underlying the
+// simulated crossbars: electronic phase-change memory (ePCM, a resistive
+// 1T1R/2T2R cell read electrically) and optical phase-change memory
+// (oPCM, a PCM patch on a waveguide read by light transmission).
+//
+// The paper's evaluation uses proprietary MNEMOSENE ePCM
+// characterization data; this package substitutes parameterized models
+// with defaults taken from the open literature (see DESIGN.md). All
+// constants are exposed through Params structs so a user with real
+// characterization data can re-calibrate.
+//
+// Both technologies are used in *binary* mode in this work: Cardoso et
+// al. (DATE 2023) showed multi-level oPCM scalar multiplication loses
+// accuracy at realistic noise, while two well-separated levels remain
+// robust — exactly the property BNN vectors need (paper §II-C).
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Technology identifies the physical substrate of a cell or array.
+type Technology int
+
+const (
+	// EPCM is electronic phase-change memory (resistive read-out).
+	EPCM Technology = iota
+	// OPCM is optical phase-change memory (transmittance read-out).
+	OPCM
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case EPCM:
+		return "ePCM"
+	case OPCM:
+		return "oPCM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// EPCMParams describes an electronic PCM cell population.
+type EPCMParams struct {
+	// GOn is the mean low-resistance (crystalline, SET) conductance in
+	// siemens. Default 50 µS.
+	GOn float64
+	// GOff is the mean high-resistance (amorphous, RESET) conductance in
+	// siemens. Default 0.5 µS (100× ratio).
+	GOff float64
+	// ProgramSigma is the relative (lognormal) programming variability of
+	// the SET state; the RESET state uses 2× this value, reflecting the
+	// larger spread of amorphous PCM.
+	ProgramSigma float64
+	// DriftNu is the amorphous resistance drift exponent: at time t the
+	// RESET conductance decays as G(t) = G0 · (t/t0)^(-DriftNu). Drift is
+	// one of the ePCM design challenges that oPCM avoids (paper §II-C).
+	DriftNu float64
+	// DriftT0Seconds is the reference time t0 for drift, typically the
+	// read-after-program delay used during characterization.
+	DriftT0Seconds float64
+	// ReadNoiseSigma is the relative 1/f + thermal read-noise applied per
+	// read as a Gaussian multiplier on the instantaneous conductance.
+	ReadNoiseSigma float64
+	// ReadVoltage is the bit-line read voltage in volts.
+	ReadVoltage float64
+	// SetLatency / ResetLatency are per-cell write latencies in ns.
+	SetLatencyNs, ResetLatencyNs float64
+	// SetEnergy / ResetEnergy are per-cell write energies in pJ.
+	SetEnergyPJ, ResetEnergyPJ float64
+}
+
+// DefaultEPCMParams returns literature-typical ePCM constants
+// (Ge2Sb2Te5-class devices, e.g. Joshi et al., Nat. Commun. 2020).
+func DefaultEPCMParams() EPCMParams {
+	// ProgramSigma reflects binary programming with iterative
+	// program-and-verify (the standard practice for PCM inference
+	// arrays, cf. Joshi et al. 2020): the SET distribution is tightened
+	// to ~1%, which keeps a 256-row popcount decodable by a 9-bit ADC.
+	return EPCMParams{
+		GOn:            50e-6,
+		GOff:           0.5e-6,
+		ProgramSigma:   0.01,
+		DriftNu:        0.05,
+		DriftT0Seconds: 1e-6,
+		ReadNoiseSigma: 0.003,
+		ReadVoltage:    0.2,
+		SetLatencyNs:   100,
+		ResetLatencyNs: 50,
+		SetEnergyPJ:    10,
+		ResetEnergyPJ:  15,
+	}
+}
+
+// Validate checks physical plausibility of the parameters.
+func (p EPCMParams) Validate() error {
+	switch {
+	case p.GOn <= 0 || p.GOff <= 0:
+		return fmt.Errorf("device: conductances must be positive (GOn=%g GOff=%g)", p.GOn, p.GOff)
+	case p.GOff >= p.GOn:
+		return fmt.Errorf("device: GOff (%g) must be below GOn (%g)", p.GOff, p.GOn)
+	case p.ProgramSigma < 0 || p.ReadNoiseSigma < 0:
+		return fmt.Errorf("device: negative noise sigma")
+	case p.DriftNu < 0:
+		return fmt.Errorf("device: negative drift exponent")
+	case p.ReadVoltage <= 0:
+		return fmt.Errorf("device: read voltage must be positive")
+	}
+	return nil
+}
+
+// OnOffRatio returns GOn/GOff, the read window of the binary cell.
+func (p EPCMParams) OnOffRatio() float64 { return p.GOn / p.GOff }
+
+// EPCMCell is one programmed electronic PCM device.
+type EPCMCell struct {
+	params EPCMParams
+	// programmed target state: true = SET (low resistance / logic 1).
+	state bool
+	// g0 is the as-programmed conductance including variability.
+	g0 float64
+	// ageSeconds accumulates time since programming, for drift.
+	ageSeconds float64
+}
+
+// NewEPCMCell programs a cell to the given binary state using rng for
+// programming variability. A nil rng programs the nominal conductance.
+func NewEPCMCell(p EPCMParams, state bool, rng *rand.Rand) *EPCMCell {
+	c := &EPCMCell{params: p, state: state}
+	mean, sigma := p.GOff, 2*p.ProgramSigma
+	if state {
+		mean, sigma = p.GOn, p.ProgramSigma
+	}
+	c.g0 = mean
+	if rng != nil && sigma > 0 {
+		// Lognormal multiplicative spread around the nominal level.
+		c.g0 = mean * math.Exp(rng.NormFloat64()*sigma-0.5*sigma*sigma)
+	}
+	return c
+}
+
+// State reports the programmed logical state.
+func (c *EPCMCell) State() bool { return c.state }
+
+// Age advances the cell's post-programming age (drift accumulation).
+func (c *EPCMCell) Age(seconds float64) {
+	if seconds < 0 {
+		panic("device: negative ageing time")
+	}
+	c.ageSeconds += seconds
+}
+
+// Conductance returns the instantaneous conductance in siemens,
+// including drift (RESET state only — crystalline PCM barely drifts)
+// and, if rng is non-nil, per-read noise.
+func (c *EPCMCell) Conductance(rng *rand.Rand) float64 {
+	g := c.g0
+	if !c.state && c.params.DriftNu > 0 && c.ageSeconds > c.params.DriftT0Seconds {
+		g *= math.Pow(c.ageSeconds/c.params.DriftT0Seconds, -c.params.DriftNu)
+	}
+	if rng != nil && c.params.ReadNoiseSigma > 0 {
+		g *= 1 + rng.NormFloat64()*c.params.ReadNoiseSigma
+		if g < 0 {
+			g = 0
+		}
+	}
+	return g
+}
+
+// ReadCurrent returns the read current in amperes for the configured
+// read voltage (Ohm's law; the crossbar sums these per Kirchhoff).
+func (c *EPCMCell) ReadCurrent(rng *rand.Rand) float64 {
+	return c.Conductance(rng) * c.params.ReadVoltage
+}
+
+// WriteCost returns the latency (ns) and energy (pJ) of programming the
+// given state transition.
+func (p EPCMParams) WriteCost(toState bool) (latencyNs, energyPJ float64) {
+	if toState {
+		return p.SetLatencyNs, p.SetEnergyPJ
+	}
+	return p.ResetLatencyNs, p.ResetEnergyPJ
+}

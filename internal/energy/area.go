@@ -1,0 +1,125 @@
+package energy
+
+import (
+	"fmt"
+)
+
+// Area model. The paper's methodology (§V-A) synthesizes the extra CMOS
+// components and applies technology scaling to put every design at the
+// same node; here the same bookkeeping is explicit: per-component areas
+// in µm², composed per design. The 2T2R baseline pays double the cell
+// area but cheap sense amplifiers; TacitMap pays ADCs; EinsteinBarrier
+// pays photonic real estate (microrings, waveguides, TIAs), which is
+// the dominant cost of integrated photonics.
+
+// AreaParams holds per-component areas in µm² (32 nm-class logic,
+// literature-typical analog/photonic blocks).
+type AreaParams struct {
+	// Cell1T1R and Cell2T2R are per-logical-bit cell areas.
+	Cell1T1R float64
+	Cell2T2R float64
+	// OPCMCell is one PCM-on-waveguide element including its waveguide
+	// pitch share.
+	OPCMCell float64
+	// ADC is one SAR/flash ADC, DAC one row driver, SA one pre-charge
+	// sense amplifier with its counter slice.
+	ADC, DAC, SA float64
+	// TIA is one transimpedance amplifier lane.
+	TIA float64
+	// Microring is one resonator (comb line or mux filter) with thermal
+	// tuner; VOA one attenuator.
+	Microring, VOA float64
+	// Laser is the (possibly off-chip-coupled) pump footprint.
+	Laser float64
+	// DigitalPerPopcountBit is the popcount-tree area per column bit.
+	DigitalPerPopcountBit float64
+}
+
+// DefaultAreaParams returns literature-typical values.
+func DefaultAreaParams() AreaParams {
+	return AreaParams{
+		Cell1T1R:              0.05,
+		Cell2T2R:              0.10,
+		OPCMCell:              12,
+		ADC:                   1500,
+		DAC:                   50,
+		SA:                    15,
+		TIA:                   400,
+		Microring:             300,
+		VOA:                   250,
+		Laser:                 250000,
+		DigitalPerPopcountBit: 8,
+	}
+}
+
+// Validate rejects non-physical areas.
+func (p AreaParams) Validate() error {
+	vals := map[string]float64{
+		"Cell1T1R": p.Cell1T1R, "Cell2T2R": p.Cell2T2R, "OPCMCell": p.OPCMCell,
+		"ADC": p.ADC, "DAC": p.DAC, "SA": p.SA, "TIA": p.TIA,
+		"Microring": p.Microring, "VOA": p.VOA, "Laser": p.Laser,
+		"DigitalPerPopcountBit": p.DigitalPerPopcountBit,
+	}
+	for name, v := range vals {
+		if v <= 0 {
+			return fmt.Errorf("energy: area %s must be positive, got %g", name, v)
+		}
+	}
+	return nil
+}
+
+// AreaBreakdown reports per-component crossbar-unit area in µm².
+type AreaBreakdown struct {
+	Cells      float64
+	Converters float64 // ADCs + DACs (or SAs)
+	Photonic   float64 // TIAs + rings + VOAs + laser share
+	Digital    float64 // popcount trees and adders
+}
+
+// Total sums the breakdown.
+func (b AreaBreakdown) Total() float64 {
+	return b.Cells + b.Converters + b.Photonic + b.Digital
+}
+
+// BaselineArrayArea returns the area of one CustBinaryMap 2T2R array
+// with `rows` word lines and `logicalCols` 2T2R bit positions.
+func (p AreaParams) BaselineArrayArea(rows, logicalCols int) AreaBreakdown {
+	return AreaBreakdown{
+		Cells:      float64(rows*logicalCols) * p.Cell2T2R,
+		Converters: float64(logicalCols) * p.SA,
+		Digital:    float64(logicalCols) * 5 * p.DigitalPerPopcountBit, // 5-bit counters + tree share
+	}
+}
+
+// TacitArrayArea returns the area of one TacitMap 1T1R ePCM array with
+// shared ADCs (one per colsPerADC columns).
+func (p AreaParams) TacitArrayArea(rows, cols, colsPerADC int) AreaBreakdown {
+	nADC := (cols + colsPerADC - 1) / colsPerADC
+	return AreaBreakdown{
+		Cells:      float64(rows*cols) * p.Cell1T1R,
+		Converters: float64(nADC)*p.ADC + float64(rows)*p.DAC,
+		Digital:    float64(cols) * p.DigitalPerPopcountBit,
+	}
+}
+
+// EinsteinBarrierArrayArea returns the area of one oPCM VCore plus its
+// ECore transmitter share: K comb rings, per-row VOAs and mux rings,
+// per-column TIAs, shared ADCs, and a laser share amortized over
+// `ecoresPerLaser` cores.
+func (p AreaParams) EinsteinBarrierArrayArea(rows, cols, colsPerADC, k, ecoresPerLaser int) AreaBreakdown {
+	if ecoresPerLaser < 1 {
+		ecoresPerLaser = 1
+	}
+	nADC := (cols + colsPerADC - 1) / colsPerADC
+	photonic := float64(cols)*p.TIA + // receiver lanes (Eq. 2's N TIAs)
+		float64(k)*p.Microring + // comb lines
+		float64(k*rows)*p.VOA/float64(k) + // VOA banks are row-wide, shared across λ in time
+		float64(2*k)*p.Microring + // DMUX+MUX filters
+		p.Laser/float64(ecoresPerLaser)
+	return AreaBreakdown{
+		Cells:      float64(rows*cols) * p.OPCMCell,
+		Converters: float64(nADC) * p.ADC,
+		Photonic:   photonic,
+		Digital:    float64(cols) * p.DigitalPerPopcountBit,
+	}
+}

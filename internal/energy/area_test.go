@@ -1,0 +1,101 @@
+package energy
+
+import "testing"
+
+func TestDefaultAreaParamsValid(t *testing.T) {
+	if err := DefaultAreaParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaValidateRejects(t *testing.T) {
+	p := DefaultAreaParams()
+	p.ADC = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	p = DefaultAreaParams()
+	p.Laser = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBaselineAreaComposition(t *testing.T) {
+	p := DefaultAreaParams()
+	b := p.BaselineArrayArea(256, 128)
+	if b.Cells != 256*128*p.Cell2T2R {
+		t.Fatalf("cells area = %g", b.Cells)
+	}
+	if b.Photonic != 0 {
+		t.Fatal("electronic baseline has no photonics")
+	}
+	if b.Total() <= b.Cells {
+		t.Fatal("total must include peripheries")
+	}
+}
+
+func TestTacitAreaADCSharing(t *testing.T) {
+	p := DefaultAreaParams()
+	shared := p.TacitArrayArea(256, 256, 8)
+	private := p.TacitArrayArea(256, 256, 1)
+	if shared.Converters >= private.Converters {
+		t.Fatal("ADC sharing must shrink converter area")
+	}
+	// 256 cols / 8 = 32 ADCs + 256 DACs.
+	want := 32*p.ADC + 256*p.DAC
+	if shared.Converters != want {
+		t.Fatalf("converters = %g, want %g", shared.Converters, want)
+	}
+}
+
+// TestSameDeviceCountSameCellBudget pins the paper's §III note: both
+// mappings use the same total number of devices for a layer — the 2T2R
+// cell is twice the 1T1R cell, and TacitMap stores twice the rows.
+func TestSameDeviceCountSameCellBudget(t *testing.T) {
+	p := DefaultAreaParams()
+	// Layer n=128 weight vectors × m=128 bits.
+	// CustBinaryMap: 128 rows × 128 logical cols of 2T2R.
+	base := p.BaselineArrayArea(128, 128).Cells
+	// TacitMap: 2m=256 rows × n=128 cols of 1T1R.
+	tacit := p.TacitArrayArea(256, 128, 8).Cells
+	if base != tacit {
+		t.Fatalf("cell areas differ: baseline %g vs tacit %g", base, tacit)
+	}
+}
+
+func TestEBAreaDominatedByPhotonics(t *testing.T) {
+	p := DefaultAreaParams()
+	eb := p.EinsteinBarrierArrayArea(256, 256, 8, 16, 8)
+	if eb.Photonic <= eb.Converters {
+		t.Fatal("photonic area should dominate converters in an oPCM core")
+	}
+	if eb.Total() <= p.TacitArrayArea(256, 256, 8).Total() {
+		t.Fatal("the photonic core must be larger than the electronic one — that is its cost")
+	}
+}
+
+func TestEBLaserAmortization(t *testing.T) {
+	p := DefaultAreaParams()
+	solo := p.EinsteinBarrierArrayArea(256, 256, 8, 16, 1)
+	pooled := p.EinsteinBarrierArrayArea(256, 256, 8, 16, 16)
+	if pooled.Photonic >= solo.Photonic {
+		t.Fatal("sharing the laser must shrink per-core photonic area")
+	}
+	defaulted := p.EinsteinBarrierArrayArea(256, 256, 8, 16, 0)
+	if defaulted.Photonic != solo.Photonic {
+		t.Fatal("ecoresPerLaser < 1 should clamp to 1")
+	}
+}
+
+func TestEBAreaGrowsWithK(t *testing.T) {
+	p := DefaultAreaParams()
+	prev := 0.0
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		a := p.EinsteinBarrierArrayArea(256, 256, 8, k, 8).Total()
+		if a <= prev {
+			t.Fatalf("area not growing at K=%d", k)
+		}
+		prev = a
+	}
+}

@@ -1,0 +1,96 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"einsteinbarrier/internal/photonics"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	if err := DefaultCostParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*CostParams){
+		func(c *CostParams) { c.RowStepNs = 0 },
+		func(c *CostParams) { c.SettleENs = -1 },
+		func(c *CostParams) { c.ADCEPJ = 0 },
+		func(c *CostParams) { c.CellReadOPJ = 0 },
+		func(c *CostParams) { c.DACPJ = -1 },
+		func(c *CostParams) { c.TIAEnergyPJ = -1 },
+		func(c *CostParams) { c.LayerOverheadNs = -1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultCostParams()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestVMMStepLatencies(t *testing.T) {
+	c := DefaultCostParams()
+	if got, want := c.VMMStepENs(8), c.SettleENs+8*c.ADCENs; got != want {
+		t.Fatalf("ePCM step = %g, want %g", got, want)
+	}
+	if got, want := c.VMMStepONs(8), c.SettleONs+8*c.ADCONs; got != want {
+		t.Fatalf("oPCM step = %g, want %g", got, want)
+	}
+	// The photonic speed advantage is the point of the technology.
+	if c.VMMStepONs(8) >= c.VMMStepENs(8) {
+		t.Fatal("oPCM step must be faster than ePCM step")
+	}
+}
+
+func TestBaselineStepCheaperThanVMM(t *testing.T) {
+	// §VI-B observation 1 requires the per-device PCSA sense to be far
+	// cheaper than a conducting cell read.
+	c := DefaultCostParams()
+	if c.PCSADevicePJ*5 > c.CellReadEPJ {
+		t.Fatalf("PCSA %g pJ not meaningfully cheaper than cell read %g pJ",
+			c.PCSADevicePJ, c.CellReadEPJ)
+	}
+}
+
+func TestTransmitterPowerMatchesEq3(t *testing.T) {
+	c := DefaultCostParams()
+	k, rows := 16, 256
+	km := float64(k * rows)
+	want := c.LaserPowerMW + photonics.ModulatorPowerMW*km +
+		photonics.ModulatorPowerMW*(km+1)/float64(k)*photonics.TuningPowerMW
+	if got := c.TransmitterPowerMW(k, rows); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Eq.3 = %g, want %g", got, want)
+	}
+}
+
+func TestStaticOpticalPowerIncludesEq2(t *testing.T) {
+	c := DefaultCostParams()
+	total := c.StaticOpticalPowerMW(256, 256, 16)
+	tx := c.TransmitterPowerMW(16, 256)
+	if math.Abs(total-tx-512) > 1e-9 { // Eq.2: 256 × 2 mW
+		t.Fatalf("TIA share = %g, want 512", total-tx)
+	}
+}
+
+func TestTransmitterPowerScalesWithRows(t *testing.T) {
+	c := DefaultCostParams()
+	if c.TransmitterPowerMW(16, 64) >= c.TransmitterPowerMW(16, 256) {
+		t.Fatal("transmitter power must grow with modulated rows")
+	}
+}
+
+func TestBreakdownTotalAndAdd(t *testing.T) {
+	a := Breakdown{CrossbarPJ: 1, ADCPJ: 2, DACPJ: 3, SensePJ: 4, DigitalPJ: 5, ControlPJ: 6, StaticPJ: 7}
+	if a.TotalPJ() != 28 {
+		t.Fatalf("TotalPJ = %g", a.TotalPJ())
+	}
+	b := a
+	b.Add(a)
+	if b.TotalPJ() != 56 {
+		t.Fatalf("Add/TotalPJ = %g", b.TotalPJ())
+	}
+}

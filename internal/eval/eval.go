@@ -1,0 +1,262 @@
+// Package eval is the experiment harness: it runs the four evaluated
+// designs (Baseline-ePCM, TacitMap-ePCM, EinsteinBarrier, Baseline-GPU)
+// over the six-network zoo and produces the series behind the paper's
+// Fig. 7 (normalized latency) and Fig. 8 (normalized energy), plus the
+// headline aggregates called out in §VI (observations 1–4).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/gpu"
+	"einsteinbarrier/internal/sim"
+)
+
+// Config parameterizes one evaluation run.
+type Config struct {
+	// Arch is the accelerator configuration (shared by the CIM designs).
+	Arch arch.Config
+	// Costs is the event cost table.
+	Costs energy.CostParams
+	// GPU is the Baseline-GPU model.
+	GPU gpu.Model
+	// Seed synthesizes the zoo weights.
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		Arch:  arch.DefaultConfig(),
+		Costs: energy.DefaultCostParams(),
+		GPU:   gpu.DefaultModel(),
+		Seed:  1,
+	}
+}
+
+// NetworkResult holds every measured quantity for one network.
+type NetworkResult struct {
+	Network string
+	// Latencies in ns.
+	LatBaseline, LatTacit, LatEB, LatGPU float64
+	// Energies in pJ (CIM designs only; the GPU energy is reported but
+	// not part of Fig. 8).
+	EnergyBaseline, EnergyTacit, EnergyEB float64
+	EnergyGPU                             float64
+	// Per-design simulation results for drill-down.
+	Results map[arch.Design]*sim.Result
+}
+
+// Fig7Speedups returns the Fig. 7 series for this network: latency
+// improvements over Baseline-ePCM (higher is better).
+func (n NetworkResult) Fig7Speedups() (tacit, eb, gpuRel float64) {
+	return n.LatBaseline / n.LatTacit,
+		n.LatBaseline / n.LatEB,
+		n.LatBaseline / n.LatGPU
+}
+
+// Fig8Normalized returns the Fig. 8 series: energy normalized to
+// Baseline-ePCM (lower is better).
+func (n NetworkResult) Fig8Normalized() (tacit, eb float64) {
+	return n.EnergyTacit / n.EnergyBaseline, n.EnergyEB / n.EnergyBaseline
+}
+
+// Report is a full evaluation run.
+type Report struct {
+	Config   Config
+	Networks []NetworkResult
+}
+
+// Run executes the full evaluation.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
+	models, err := bnn.Zoo(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: cfg}
+	for _, m := range models {
+		results, err := sim.RunModelOnDesigns(simulator, func(d arch.Design) (*compiler.Compiled, error) {
+			return compiler.Compile(m, cfg.Arch, d)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", m.Name(), err)
+		}
+		nr := NetworkResult{
+			Network:        m.Name(),
+			LatBaseline:    results[arch.BaselineEPCM].LatencyNs,
+			LatTacit:       results[arch.TacitEPCM].LatencyNs,
+			LatEB:          results[arch.EinsteinBarrier].LatencyNs,
+			LatGPU:         cfg.GPU.InferenceLatencyNs(m),
+			EnergyBaseline: results[arch.BaselineEPCM].EnergyPJ(),
+			EnergyTacit:    results[arch.TacitEPCM].EnergyPJ(),
+			EnergyEB:       results[arch.EinsteinBarrier].EnergyPJ(),
+			EnergyGPU:      cfg.GPU.InferenceEnergyPJ(m),
+			Results:        results,
+		}
+		rep.Networks = append(rep.Networks, nr)
+	}
+	return rep, nil
+}
+
+// Summary aggregates the headline numbers of §VI.
+type Summary struct {
+	// MeanTacitSpeedup / MeanEBSpeedup are the Fig. 7 averages
+	// (paper: ~78× and ~1205×).
+	MeanTacitSpeedup, MeanEBSpeedup float64
+	// MaxTacitSpeedup (paper: up to ~154×), MinEBSpeedup / MaxEBSpeedup
+	// (paper: ~22× … ~3113×).
+	MaxTacitSpeedup            float64
+	MinEBSpeedup, MaxEBSpeedup float64
+	// MeanEBOverTacit (paper: ~15×).
+	MeanEBOverTacit float64
+	// MeanTacitEnergyX is Fig. 8's TacitMap-ePCM mean normalized energy
+	// expressed as an increase factor (paper: ~5.35× more energy).
+	MeanTacitEnergyX float64
+	// MeanEBEnergyGain is Baseline/EB energy (paper: ~1.56×), and
+	// MeanEBOverTacitEnergy is Tacit/EB (paper: ~11.94×).
+	MeanEBEnergyGain, MeanEBOverTacitEnergy float64
+	// GPUFasterCount counts networks where Baseline-ePCM loses to the
+	// GPU (paper observation 4: it happens for MLPs).
+	GPUFasterCount int
+	// BaselineVsGPUBest / Worst are the extremes of Baseline-ePCM vs
+	// GPU (paper: ~4× faster on a CNN, ~27× slower on MLP-L).
+	BaselineVsGPUBest, BaselineVsGPUWorst float64
+}
+
+// Summarize computes the aggregates. Means are arithmetic over the six
+// networks, matching the paper's "on average" phrasing; geometric means
+// are also reported by the String method for completeness.
+func (r *Report) Summarize() Summary {
+	var s Summary
+	s.MinEBSpeedup = math.Inf(1)
+	s.BaselineVsGPUBest = math.Inf(-1)
+	s.BaselineVsGPUWorst = math.Inf(1)
+	var tacitSum, ebSum, ratioSum, tEnergySum, ebEnergyGainSum, ebOverTacitESum float64
+	for _, n := range r.Networks {
+		tacit, eb, _ := n.Fig7Speedups()
+		tacitSum += tacit
+		ebSum += eb
+		ratioSum += n.LatTacit / n.LatEB
+		s.MaxTacitSpeedup = math.Max(s.MaxTacitSpeedup, tacit)
+		s.MinEBSpeedup = math.Min(s.MinEBSpeedup, eb)
+		s.MaxEBSpeedup = math.Max(s.MaxEBSpeedup, eb)
+		tn, en := n.Fig8Normalized()
+		tEnergySum += tn
+		ebEnergyGainSum += 1 / en
+		ebOverTacitESum += tn / en
+		baseVsGPU := n.LatGPU / n.LatBaseline // >1 ⇒ baseline faster
+		if baseVsGPU < 1 {
+			s.GPUFasterCount++
+		}
+		s.BaselineVsGPUBest = math.Max(s.BaselineVsGPUBest, baseVsGPU)
+		s.BaselineVsGPUWorst = math.Min(s.BaselineVsGPUWorst, baseVsGPU)
+	}
+	k := float64(len(r.Networks))
+	s.MeanTacitSpeedup = tacitSum / k
+	s.MeanEBSpeedup = ebSum / k
+	s.MeanEBOverTacit = ratioSum / k
+	s.MeanTacitEnergyX = tEnergySum / k
+	s.MeanEBEnergyGain = ebEnergyGainSum / k
+	s.MeanEBOverTacitEnergy = ebOverTacitESum / k
+	return s
+}
+
+// Fig7Table renders the Fig. 7 series as an aligned text table.
+func (r *Report) Fig7Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 7 — Latency improvement over Baseline-ePCM (higher = better)\n")
+	fmt.Fprintf(&sb, "%-8s %16s %16s %18s\n", "Network", "TacitMap-ePCM", "EinsteinBarrier", "GPU-vs-Baseline*")
+	for _, n := range r.Networks {
+		tacit, eb, _ := n.Fig7Speedups()
+		fmt.Fprintf(&sb, "%-8s %15.1fx %15.1fx %17.2fx\n",
+			n.Network, tacit, eb, n.LatGPU/n.LatBaseline)
+	}
+	s := r.Summarize()
+	fmt.Fprintf(&sb, "%-8s %15.1fx %15.1fx\n", "MEAN", s.MeanTacitSpeedup, s.MeanEBSpeedup)
+	fmt.Fprintf(&sb, "%-8s %15.1fx %15.1fx\n", "GMEAN", r.geomean(func(n NetworkResult) float64 {
+		t, _, _ := n.Fig7Speedups()
+		return t
+	}), r.geomean(func(n NetworkResult) float64 {
+		_, e, _ := n.Fig7Speedups()
+		return e
+	}))
+	fmt.Fprintf(&sb, "* >1 means Baseline-ePCM beats the GPU on that network.\n")
+	return sb.String()
+}
+
+// Fig8Table renders the Fig. 8 series.
+func (r *Report) Fig8Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 8 — Energy normalized to Baseline-ePCM (lower = better)\n")
+	fmt.Fprintf(&sb, "%-8s %16s %16s\n", "Network", "TacitMap-ePCM", "EinsteinBarrier")
+	for _, n := range r.Networks {
+		tn, en := n.Fig8Normalized()
+		fmt.Fprintf(&sb, "%-8s %15.2fx %15.2fx\n", n.Network, tn, en)
+	}
+	s := r.Summarize()
+	fmt.Fprintf(&sb, "%-8s %15.2fx %15.2fx\n", "MEAN", s.MeanTacitEnergyX, 1/s.MeanEBEnergyGain)
+	return sb.String()
+}
+
+// SummaryTable renders the §VI callouts next to the paper's values.
+func (r *Report) SummaryTable() string {
+	s := r.Summarize()
+	rows := []struct {
+		what     string
+		measured float64
+		paper    string
+	}{
+		{"TacitMap mean latency speedup", s.MeanTacitSpeedup, "~78x"},
+		{"TacitMap max latency speedup", s.MaxTacitSpeedup, "~154x"},
+		{"EinsteinBarrier mean latency speedup", s.MeanEBSpeedup, "~1205x"},
+		{"EinsteinBarrier min latency speedup", s.MinEBSpeedup, "~22x"},
+		{"EinsteinBarrier max latency speedup", s.MaxEBSpeedup, "~3113x"},
+		{"EinsteinBarrier over TacitMap (mean)", s.MeanEBOverTacit, "~15x"},
+		{"TacitMap energy increase vs baseline", s.MeanTacitEnergyX, "~5.35x"},
+		{"EinsteinBarrier energy gain vs baseline", s.MeanEBEnergyGain, "~1.56x"},
+		{"EinsteinBarrier energy gain vs TacitMap", s.MeanEBOverTacitEnergy, "~11.94x"},
+		{"Baseline-ePCM best case vs GPU", s.BaselineVsGPUBest, "~4x faster"},
+		{"Baseline-ePCM worst case vs GPU", 1 / s.BaselineVsGPUWorst, "~27x slower"},
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-42s %12s %14s\n", "Observation (§VI)", "measured", "paper")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-42s %11.2fx %14s\n", row.what, row.measured, row.paper)
+	}
+	return sb.String()
+}
+
+func (r *Report) geomean(f func(NetworkResult) float64) float64 {
+	logSum := 0.0
+	for _, n := range r.Networks {
+		logSum += math.Log(f(n))
+	}
+	return math.Exp(logSum / float64(len(r.Networks)))
+}
+
+// SortedByName returns the networks in figure order (CNNs then MLPs,
+// each ascending — the zoo order).
+func (r *Report) SortedByName() []NetworkResult {
+	out := make([]NetworkResult, len(r.Networks))
+	copy(out, r.Networks)
+	order := map[string]int{}
+	for i, n := range bnn.ZooNames {
+		order[n] = i
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i].Network] < order[out[j].Network] })
+	return out
+}

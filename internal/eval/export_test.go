@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	rep := report(t)
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // header + 6 networks
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0][0] != "network" || rows[1][0] != "CNN-S" {
+		t.Fatalf("ordering wrong: %v %v", rows[0][0], rows[1][0])
+	}
+	// Fig. 7 column must parse and exceed 1 for all networks.
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || v <= 1 {
+			t.Fatalf("bad tacit speedup %q", row[1])
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep := report(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, frag := range []string{"\"summary\"", "\"networks\"", "CNN-L", "fig8_eb_norm_energy"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("JSON missing %q", frag)
+		}
+	}
+	got, err := ReadJSONSummary(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.Summarize()
+	if math.Abs(got.MeanTacitSpeedup-want.MeanTacitSpeedup) > 1e-9 ||
+		math.Abs(got.MeanEBEnergyGain-want.MeanEBEnergyGain) > 1e-9 {
+		t.Fatal("summary round trip diverged")
+	}
+}
+
+func TestReadJSONSummaryErrors(t *testing.T) {
+	if _, err := ReadJSONSummary(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}

@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram() Program {
+	return Program{
+		{Op: OpMVM, Tiles: 9, Repeat: 1024, Convs: 1152, DACs: 2304, Cells: 294912, Comment: "conv1"},
+		{Op: OpMMM, Tiles: 9, K: 16, Repeat: 64, Convs: 18432, DACs: 36864, Cells: 294912, Count: 256},
+		{Op: OpRowStep, Count: 1152, Repeat: 1024, Cells: 294912},
+		{Op: OpFPMVM, Tiles: 4, Bits: 8, K: 2, Repeat: 16, Convs: 8192, DACs: 432, Cells: 27648, Count: 27},
+		{Op: OpAdd, Count: 1024},
+		{Op: OpPopc, Count: 4096},
+		{Op: OpThresh, Count: 128},
+		{Op: OpSend, Bytes: 16384, Hops: 3, ChipHops: 1},
+		{Op: OpSync, Comment: "conv1"},
+		{Op: OpHalt},
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpNop: "NOP", OpMVM: "MVM", OpMMM: "MMM", OpRowStep: "ROWSTEP",
+		OpFPMVM: "FPMVM", OpAdd: "ADD", OpPopc: "POPC", OpThresh: "THRESH",
+		OpSend: "SEND", OpSync: "SYNC", OpHalt: "HALT",
+	} {
+		if op.String() != want {
+			t.Fatalf("%v != %s", op, want)
+		}
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Fatal("unknown opcode should print numerically")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	if err := sampleProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Instruction{
+		{Op: OpMVM},                                 // no tiles/repeat
+		{Op: OpMVM, Tiles: 1},                       // no repeat
+		{Op: OpMMM, Tiles: 1, Repeat: 1},            // no k
+		{Op: OpFPMVM, Tiles: 1, Repeat: 1},          // no bits
+		{Op: OpRowStep, Repeat: 1},                  // no count
+		{Op: OpAdd},                                 // no count
+		{Op: OpSend},                                // no bytes
+		{Op: OpMVM, Tiles: -1, Repeat: 1},           // negative
+		{Op: Opcode(77)},                            // unknown
+		{Op: OpMVM, Tiles: 1, Repeat: 1, Cells: -5}, // negative cells
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d (%s): expected error", i, in)
+		}
+	}
+}
+
+func TestProgramValidateStructure(t *testing.T) {
+	if err := (Program{}).Validate(); err == nil {
+		t.Fatal("empty program should fail")
+	}
+	noHalt := Program{{Op: OpNop}}
+	if err := noHalt.Validate(); err == nil {
+		t.Fatal("program without HALT should fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	decoded, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(p) {
+		t.Fatalf("decoded %d instructions, want %d", len(decoded), len(p))
+	}
+	for i := range p {
+		want := p[i]
+		want.Comment = "" // comments are not encoded
+		if decoded[i] != want {
+			t.Fatalf("instruction %d: %s != %s", i, decoded[i], want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{255}); err == nil {
+		t.Fatal("bad opcode should fail")
+	}
+	// Valid opcode but truncated operands.
+	if _, err := Decode([]byte{byte(OpMVM), 2}); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	parsed, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(p) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(p))
+	}
+	for i := range p {
+		if parsed[i] != p[i] {
+			t.Fatalf("instruction %d: %q != %q", i, parsed[i].String(), p[i].String())
+		}
+	}
+}
+
+func TestParseHandwritten(t *testing.T) {
+	src := `
+		mvm tiles=2 repeat=10 ; layer one
+		add count=5
+
+		HALT
+	`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0].Op != OpMVM || p[0].Tiles != 2 || p[0].Comment != "layer one" {
+		t.Fatalf("parsed %v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"BOGUS tiles=1", // unknown opcode
+		"MVM tiles",     // malformed operand
+		"MVM tiles=x",   // bad value
+		"MVM wibble=3",  // unknown operand
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("case %d (%q): expected parse error", i, src)
+		}
+	}
+}
+
+// Property: encode/decode is lossless for arbitrary non-negative
+// operand combinations.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(tiles, k, bits uint8, count, repeat, convs, dacs, cells, bytes uint16, hops, chip uint8) bool {
+		in := Instruction{
+			Op: OpMMM, Tiles: int(tiles), K: int(k), Bits: int(bits),
+			Count: int64(count), Repeat: int64(repeat), Convs: int64(convs),
+			DACs: int64(dacs), Cells: int64(cells), Bytes: int64(bytes),
+			Hops: int(hops), ChipHops: int(chip),
+		}
+		p := Program{in}
+		out, err := Decode(p.Encode())
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringContainsOperands(t *testing.T) {
+	in := Instruction{Op: OpMMM, Tiles: 3, K: 16, Repeat: 7, Comment: "note"}
+	s := in.String()
+	for _, frag := range []string{"MMM", "tiles=3", "k=16", "repeat=7", "; note"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("%q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Config{
+		{MeshWidth: 0, HopLatencyNs: 1, FlitBytes: 4, ChipHopNs: 1},
+		{MeshWidth: 2, HopLatencyNs: 0, FlitBytes: 4, ChipHopNs: 1},
+		{MeshWidth: 2, HopLatencyNs: 1, FlitBytes: 0, ChipHopNs: 1},
+		{MeshWidth: 2, HopLatencyNs: 1, FlitBytes: 4, ChipHopNs: 1, BytePJ: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTileCoordAndHops(t *testing.T) {
+	c := DefaultConfig(4)
+	co, err := c.TileCoord(5) // row-major: (1,1)
+	if err != nil || co.X != 1 || co.Y != 1 {
+		t.Fatalf("coord = %+v, err %v", co, err)
+	}
+	h, err := c.Hops(0, 15) // (0,0) → (3,3)
+	if err != nil || h != 6 {
+		t.Fatalf("hops = %d, err %v", h, err)
+	}
+	if h, _ := c.Hops(7, 7); h != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	if _, err := c.TileCoord(16); err == nil {
+		t.Fatal("out-of-mesh tile should fail")
+	}
+	if _, err := c.Hops(-1, 0); err == nil {
+		t.Fatal("negative tile should fail")
+	}
+}
+
+func TestHopsSymmetricProperty(t *testing.T) {
+	c := DefaultConfig(5)
+	f := func(a, b uint8) bool {
+		ta, tb := int(a)%25, int(b)%25
+		h1, e1 := c.Hops(ta, tb)
+		h2, e2 := c.Hops(tb, ta)
+		return e1 == nil && e2 == nil && h1 == h2 && h1 >= 0 && h1 <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferZeroBytes(t *testing.T) {
+	c := DefaultConfig(4)
+	lat, e, err := c.Transfer(0, 3, 1)
+	if err != nil || lat != 0 || e != 0 {
+		t.Fatalf("zero transfer: %g %g %v", lat, e, err)
+	}
+}
+
+func TestTransferErrors(t *testing.T) {
+	c := DefaultConfig(4)
+	if _, _, err := c.Transfer(-1, 0, 0); err == nil {
+		t.Fatal("negative bytes should fail")
+	}
+	if _, _, err := c.Transfer(1, -1, 0); err == nil {
+		t.Fatal("negative hops should fail")
+	}
+}
+
+func TestTransferWormhole(t *testing.T) {
+	c := DefaultConfig(4) // 32B flits, 1 ns/hop
+	// 64 bytes over 2 hops: head 2 ns + 1 extra flit 1 ns = 3 ns.
+	lat, e, err := c.Transfer(64, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-3) > 1e-9 {
+		t.Fatalf("latency = %g, want 3", lat)
+	}
+	wantE := 64.0 * 2 * c.BytePJ
+	if math.Abs(e-wantE) > 1e-9 {
+		t.Fatalf("energy = %g, want %g", e, wantE)
+	}
+}
+
+func TestTransferChipHopsCostMore(t *testing.T) {
+	c := DefaultConfig(4)
+	lOn, eOn, _ := c.Transfer(1024, 1, 0)
+	lOff, eOff, _ := c.Transfer(1024, 0, 1)
+	if lOff <= lOn || eOff <= eOn {
+		t.Fatalf("chip-to-chip should dominate: %g/%g vs %g/%g", lOff, eOff, lOn, eOn)
+	}
+}
+
+func TestTransferMonotoneInBytes(t *testing.T) {
+	c := DefaultConfig(4)
+	prevL, prevE := -1.0, -1.0
+	for _, b := range []int64{1, 32, 33, 1024, 65536} {
+		l, e, err := c.Transfer(b, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < prevL || e <= prevE {
+			t.Fatalf("not monotone at %d bytes", b)
+		}
+		prevL, prevE = l, e
+	}
+}
+
+func TestAverageHops(t *testing.T) {
+	if h := DefaultConfig(1).AverageHops(); h != 0 {
+		t.Fatalf("1x1 mesh average = %g", h)
+	}
+	// 2x2 mesh: E|Δ| per axis = (4-1)/(3·2) = 0.5 → total 1.0.
+	if h := DefaultConfig(2).AverageHops(); math.Abs(h-1.0) > 1e-9 {
+		t.Fatalf("2x2 mesh average = %g, want 1.0", h)
+	}
+	// Larger meshes have more average hops.
+	if DefaultConfig(8).AverageHops() <= DefaultConfig(4).AverageHops() {
+		t.Fatal("average hops must grow with mesh size")
+	}
+}

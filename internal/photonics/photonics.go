@@ -1,0 +1,228 @@
+// Package photonics models the optical path of an EinsteinBarrier ECore:
+// the WDM transmitter (laser → microresonator frequency comb → DMUX →
+// per-wavelength variable optical attenuators (VOAs) → MUX) that encodes
+// up to K input vectors onto K wavelengths of a single waveguide
+// (paper Fig. 6), and the receiver (per-column photodetection → DMUX →
+// transimpedance amplifiers (TIAs) feeding the ADCs, paper §IV-A1).
+//
+// It also implements the paper's two power-overhead models:
+//
+//	Eq. (2):  P_crossbar = N × 2 mW              (one TIA per column)
+//	Eq. (3):  P_total = P_laser + 3·K·M mW + 3·(K·M+1)/K × 45 mW
+//
+// for a WDM capacity K and an M×N crossbar.
+package photonics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TIAPowerMW is the per-TIA power from Eq. (2), in mW.
+const TIAPowerMW = 2.0
+
+// TuningPowerMW is the per-group microresonator tuning power from
+// Eq. (3), in mW.
+const TuningPowerMW = 45.0
+
+// ModulatorPowerMW is the per-(wavelength·row) modulator drive power
+// from Eq. (3), in mW.
+const ModulatorPowerMW = 3.0
+
+// MaxWDMCapacity is the largest wavelength count current technology
+// supports while keeping channels separable at the TIA (paper §IV-A2,
+// citing Feldmann et al.): K = 16.
+const MaxWDMCapacity = 16
+
+// TransmitterConfig describes one ECore transmitter.
+type TransmitterConfig struct {
+	// Capacity is the WDM capacity K: how many wavelengths (hence input
+	// vectors) can share the waveguide and still be detected.
+	Capacity int
+	// RowCount M is the number of crossbar rows the transmitter feeds.
+	RowCount int
+	// LaserPowerMW is the continuous-wave pump power (P_laser in Eq. 3).
+	LaserPowerMW float64
+	// CombEfficiency is the fraction of pump power converted into comb
+	// lines (the rest is lost in the resonator).
+	CombEfficiency float64
+	// VOAExtinctionDB is the attenuation a VOA applies for a 0 bit.
+	VOAExtinctionDB float64
+	// MuxInsertionLossDB is the per-pass insertion loss of each
+	// MUX/DMUX stage.
+	MuxInsertionLossDB float64
+	// ChannelIsolationDB is the inter-channel isolation of the receiver
+	// DMUX (negative: e.g. -30 dB leaks 0.1%).
+	ChannelIsolationDB float64
+}
+
+// DefaultTransmitterConfig returns the evaluation defaults for an M-row
+// crossbar at capacity K.
+func DefaultTransmitterConfig(k, rows int) TransmitterConfig {
+	return TransmitterConfig{
+		Capacity:           k,
+		RowCount:           rows,
+		LaserPowerMW:       100,
+		CombEfficiency:     0.3,
+		VOAExtinctionDB:    25,
+		MuxInsertionLossDB: 1.5,
+		ChannelIsolationDB: -30,
+	}
+}
+
+// Validate checks the configuration.
+func (c TransmitterConfig) Validate() error {
+	switch {
+	case c.Capacity < 1 || c.Capacity > MaxWDMCapacity:
+		return fmt.Errorf("photonics: capacity %d outside [1,%d]", c.Capacity, MaxWDMCapacity)
+	case c.RowCount < 1:
+		return fmt.Errorf("photonics: row count %d must be positive", c.RowCount)
+	case c.LaserPowerMW <= 0:
+		return fmt.Errorf("photonics: laser power must be positive")
+	case c.CombEfficiency <= 0 || c.CombEfficiency > 1:
+		return fmt.Errorf("photonics: comb efficiency %g outside (0,1]", c.CombEfficiency)
+	case c.VOAExtinctionDB <= 0:
+		return fmt.Errorf("photonics: VOA extinction must be positive dB")
+	case c.MuxInsertionLossDB < 0:
+		return fmt.Errorf("photonics: negative insertion loss")
+	case c.ChannelIsolationDB > 0:
+		return fmt.Errorf("photonics: channel isolation must be ≤ 0 dB")
+	}
+	return nil
+}
+
+// CrossbarTIAPowerMW implements Eq. (2): the receiver adds one 2 mW TIA
+// per crossbar column (N columns).
+func CrossbarTIAPowerMW(nCols int) float64 {
+	if nCols < 0 {
+		panic("photonics: negative column count")
+	}
+	return float64(nCols) * TIAPowerMW
+}
+
+// TransmitterPowerMW implements Eq. (3) for WDM capacity K and M rows:
+//
+//	P_total = P_laser + 3·K·M + 3·(K·M+1)/K × 45   [mW]
+//
+// The middle term is the modulator (VOA) drive power, the last the
+// microresonator comb and MUX thermal tuning.
+func (c TransmitterConfig) TransmitterPowerMW() float64 {
+	km := float64(c.Capacity * c.RowCount)
+	return c.LaserPowerMW + ModulatorPowerMW*km +
+		ModulatorPowerMW*(km+1)/float64(c.Capacity)*TuningPowerMW
+}
+
+// dbToLinear converts a dB power ratio to linear.
+func dbToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// Frame is one WDM-encoded symbol: per-wavelength, per-row optical
+// powers (mW) on the shared waveguide.
+type Frame struct {
+	// Power[k][r] is the power of wavelength k on row r.
+	Power [][]float64
+	// K and Rows echo the dimensions.
+	K, Rows int
+}
+
+// Modulate encodes up to Capacity binary input vectors (bits[k][r],
+// true = transmit) into a Frame: the comb splits the pump into K lines,
+// the DMUX routes each to its VOA bank, a VOA passes (1) or attenuates
+// (0) each row's light, and the MUX recombines everything onto the
+// waveguide. Returns an error if more vectors than Capacity are given
+// or the lengths disagree with RowCount.
+func (c TransmitterConfig) Modulate(bits [][]bool) (*Frame, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(bits) == 0 || len(bits) > c.Capacity {
+		return nil, fmt.Errorf("photonics: %d input vectors for capacity %d", len(bits), c.Capacity)
+	}
+	for i, b := range bits {
+		if len(b) != c.RowCount {
+			return nil, fmt.Errorf("photonics: vector %d has %d rows, want %d", i, len(b), c.RowCount)
+		}
+	}
+	// Pump power divides across K comb lines after conversion loss, then
+	// suffers DMUX + MUX insertion loss (two passes).
+	perLine := c.LaserPowerMW * c.CombEfficiency / float64(c.Capacity)
+	perLine *= dbToLinear(-2 * c.MuxInsertionLossDB)
+	off := dbToLinear(-c.VOAExtinctionDB)
+	f := &Frame{K: len(bits), Rows: c.RowCount, Power: make([][]float64, len(bits))}
+	for k, vec := range bits {
+		f.Power[k] = make([]float64, c.RowCount)
+		for r, bit := range vec {
+			if bit {
+				f.Power[k][r] = perLine
+			} else {
+				f.Power[k][r] = perLine * off
+			}
+		}
+	}
+	return f, nil
+}
+
+// Receiver models the per-column detection chain: DMUX (with finite
+// channel isolation), photodiode, and TIA.
+type Receiver struct {
+	cfg TransmitterConfig
+	// Responsivity of the photodiodes in A/W.
+	Responsivity float64
+	// TIANoiseSigma is the input-referred TIA noise as a fraction of the
+	// per-line full-scale signal.
+	TIANoiseSigma float64
+	rng           *rand.Rand
+}
+
+// NewReceiver builds a receiver matched to the transmitter configuration.
+// A nil rng disables TIA noise.
+func NewReceiver(cfg TransmitterConfig, rng *rand.Rand) *Receiver {
+	return &Receiver{cfg: cfg, Responsivity: 1.0, TIANoiseSigma: 0.002, rng: rng}
+}
+
+// Demodulate recovers, for each wavelength, the per-row received power
+// including inter-channel leakage, and thresholds it back to bits.
+// It is the loopback validation of the transmitter: Demodulate ∘
+// Modulate must be the identity at sane isolation levels.
+func (rx *Receiver) Demodulate(f *Frame) ([][]bool, error) {
+	if f == nil || f.K == 0 {
+		return nil, fmt.Errorf("photonics: empty frame")
+	}
+	leak := dbToLinear(rx.cfg.ChannelIsolationDB)
+	perLine := rx.cfg.LaserPowerMW * rx.cfg.CombEfficiency / float64(rx.cfg.Capacity) *
+		dbToLinear(-2*rx.cfg.MuxInsertionLossDB)
+	threshold := perLine / 2
+	out := make([][]bool, f.K)
+	for k := 0; k < f.K; k++ {
+		out[k] = make([]bool, f.Rows)
+		for r := 0; r < f.Rows; r++ {
+			p := f.Power[k][r]
+			for j := 0; j < f.K; j++ {
+				if j != k {
+					p += leak * f.Power[j][r]
+				}
+			}
+			if rx.rng != nil && rx.TIANoiseSigma > 0 {
+				p += rx.rng.NormFloat64() * rx.TIANoiseSigma * perLine
+			}
+			out[k][r] = p > threshold
+		}
+	}
+	return out, nil
+}
+
+// WorstCaseEyeOpening returns the normalized eye opening (1 = perfect)
+// of a K-channel link: the gap between the lowest 1-level and the
+// highest 0-level after worst-case crosstalk, divided by the nominal
+// swing. A non-positive value means the link cannot be decoded — the
+// analytic justification for the K ≤ 16 capacity limit.
+func (c TransmitterConfig) WorstCaseEyeOpening() float64 {
+	leak := dbToLinear(c.ChannelIsolationDB)
+	off := dbToLinear(-c.VOAExtinctionDB)
+	k := float64(c.Capacity)
+	// Worst case: victim 1 with all aggressors 0 vs victim 0 with all
+	// aggressors 1 (normalized to per-line power).
+	low1 := 1.0 + leak*(k-1)*off
+	high0 := off + leak*(k-1)*1.0
+	return (low1 - high0) / (1.0 - off)
+}

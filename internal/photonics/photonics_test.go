@@ -1,0 +1,210 @@
+package photonics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultTransmitterConfig(16, 256).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*TransmitterConfig){
+		func(c *TransmitterConfig) { c.Capacity = 0 },
+		func(c *TransmitterConfig) { c.Capacity = MaxWDMCapacity + 1 },
+		func(c *TransmitterConfig) { c.RowCount = 0 },
+		func(c *TransmitterConfig) { c.LaserPowerMW = 0 },
+		func(c *TransmitterConfig) { c.CombEfficiency = 0 },
+		func(c *TransmitterConfig) { c.CombEfficiency = 1.1 },
+		func(c *TransmitterConfig) { c.VOAExtinctionDB = 0 },
+		func(c *TransmitterConfig) { c.MuxInsertionLossDB = -1 },
+		func(c *TransmitterConfig) { c.ChannelIsolationDB = 5 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultTransmitterConfig(8, 64)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEquation2(t *testing.T) {
+	// Eq. (2): P_crossbar = N × 2 mW.
+	if got := CrossbarTIAPowerMW(256); got != 512 {
+		t.Fatalf("Eq.2 for N=256 = %g, want 512", got)
+	}
+	if got := CrossbarTIAPowerMW(0); got != 0 {
+		t.Fatalf("Eq.2 for N=0 = %g", got)
+	}
+}
+
+func TestEquation2NegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossbarTIAPowerMW(-1)
+}
+
+func TestEquation3(t *testing.T) {
+	// Eq. (3): P_total = P_laser + 3·K·M + 3·(K·M+1)/K·45 mW.
+	cfg := DefaultTransmitterConfig(16, 256)
+	cfg.LaserPowerMW = 100
+	km := 16.0 * 256.0
+	want := 100 + 3*km + 3*(km+1)/16*45
+	if got := cfg.TransmitterPowerMW(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Eq.3 = %g, want %g", got, want)
+	}
+}
+
+func TestEquation3MonotoneInK(t *testing.T) {
+	prev := 0.0
+	for k := 1; k <= MaxWDMCapacity; k++ {
+		cfg := DefaultTransmitterConfig(k, 256)
+		p := cfg.TransmitterPowerMW()
+		if p <= prev {
+			t.Fatalf("Eq.3 not increasing at K=%d: %g <= %g", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	cfg := DefaultTransmitterConfig(16, 64)
+	rng := rand.New(rand.NewSource(3))
+	bits := make([][]bool, 16)
+	for k := range bits {
+		bits[k] = make([]bool, 64)
+		for r := range bits[k] {
+			bits[k][r] = rng.Intn(2) == 1
+		}
+	}
+	frame, err := cfg.Modulate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := NewReceiver(cfg, rng)
+	got, err := rx.Demodulate(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range bits {
+		for r := range bits[k] {
+			if got[k][r] != bits[k][r] {
+				t.Fatalf("λ%d row %d: decoded %v, want %v", k, r, got[k][r], bits[k][r])
+			}
+		}
+	}
+}
+
+func TestModulateErrors(t *testing.T) {
+	cfg := DefaultTransmitterConfig(2, 4)
+	if _, err := cfg.Modulate(nil); err == nil {
+		t.Fatal("expected error for no vectors")
+	}
+	three := [][]bool{make([]bool, 4), make([]bool, 4), make([]bool, 4)}
+	if _, err := cfg.Modulate(three); err == nil {
+		t.Fatal("expected error for > capacity vectors")
+	}
+	if _, err := cfg.Modulate([][]bool{make([]bool, 5)}); err == nil {
+		t.Fatal("expected error for wrong row count")
+	}
+}
+
+func TestDemodulateEmptyFrame(t *testing.T) {
+	rx := NewReceiver(DefaultTransmitterConfig(2, 4), nil)
+	if _, err := rx.Demodulate(nil); err == nil {
+		t.Fatal("expected error for nil frame")
+	}
+}
+
+func TestFrameConservesPowerBudget(t *testing.T) {
+	// Total frame power can never exceed pump power (passive optics).
+	cfg := DefaultTransmitterConfig(8, 32)
+	bits := make([][]bool, 8)
+	for k := range bits {
+		bits[k] = make([]bool, 32)
+		for r := range bits[k] {
+			bits[k][r] = true
+		}
+	}
+	frame, err := cfg.Modulate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRowTotal := 0.0
+	for k := range frame.Power {
+		perRowTotal += frame.Power[k][0]
+	}
+	if perRowTotal > cfg.LaserPowerMW {
+		t.Fatalf("frame power %g mW exceeds pump %g mW", perRowTotal, cfg.LaserPowerMW)
+	}
+}
+
+func TestEyeOpeningShrinksWithK(t *testing.T) {
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		cfg := DefaultTransmitterConfig(k, 64)
+		eye := cfg.WorstCaseEyeOpening()
+		if eye >= prev {
+			t.Fatalf("eye not shrinking at K=%d: %g >= %g", k, eye, prev)
+		}
+		if eye <= 0 {
+			t.Fatalf("K=%d undecodable at default isolation", k)
+		}
+		prev = eye
+	}
+}
+
+func TestEyeClosesAtPoorIsolation(t *testing.T) {
+	cfg := DefaultTransmitterConfig(16, 64)
+	cfg.ChannelIsolationDB = -8 // terrible demux
+	if eye := cfg.WorstCaseEyeOpening(); eye > 0 {
+		t.Fatalf("eye should close at -8 dB isolation with K=16, got %g", eye)
+	}
+}
+
+// Property: round trip holds for any capacity and bit pattern at
+// default (sane) optics.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(MaxWDMCapacity)
+		rows := 1 + rng.Intn(40)
+		cfg := DefaultTransmitterConfig(k, rows)
+		nvec := 1 + rng.Intn(k)
+		bits := make([][]bool, nvec)
+		for i := range bits {
+			bits[i] = make([]bool, rows)
+			for r := range bits[i] {
+				bits[i][r] = rng.Intn(2) == 1
+			}
+		}
+		frame, err := cfg.Modulate(bits)
+		if err != nil {
+			return false
+		}
+		got, err := NewReceiver(cfg, rng).Demodulate(frame)
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			for r := range bits[i] {
+				if got[i][r] != bits[i][r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

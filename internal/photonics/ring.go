@@ -1,0 +1,128 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Microresonator model. The transmitter's frequency comb and the
+// (de)multiplexer filters (paper Fig. 6, components 2 and 3) are ring
+// resonators. Their Lorentzian response sets how closely WDM channels
+// can be packed: adjacent-channel leakage through a filter's tail is
+// exactly the crosstalk floor that bounds the usable capacity K — the
+// physics behind the paper's "current technologies can support up to a
+// capacity of K = 16".
+
+// Ring describes one add-drop microresonator.
+type Ring struct {
+	// FSRGHz is the free spectral range — the comb's total usable span.
+	FSRGHz float64
+	// LinewidthGHz is the full width at half maximum of the resonance
+	// (FSR / finesse).
+	LinewidthGHz float64
+	// TuningMWPerGHz is the thermal tuning power to shift the resonance
+	// by 1 GHz.
+	TuningMWPerGHz float64
+}
+
+// DefaultRing returns silicon-microring typicals: 1 THz FSR, 5 GHz
+// linewidth (finesse 200), 0.25 mW/GHz thermal tuning.
+func DefaultRing() Ring {
+	return Ring{FSRGHz: 1000, LinewidthGHz: 5, TuningMWPerGHz: 0.25}
+}
+
+// Validate checks physical plausibility.
+func (r Ring) Validate() error {
+	switch {
+	case r.FSRGHz <= 0:
+		return fmt.Errorf("photonics: FSR must be positive")
+	case r.LinewidthGHz <= 0 || r.LinewidthGHz >= r.FSRGHz:
+		return fmt.Errorf("photonics: linewidth %g must be in (0, FSR)", r.LinewidthGHz)
+	case r.TuningMWPerGHz < 0:
+		return fmt.Errorf("photonics: negative tuning efficiency")
+	}
+	return nil
+}
+
+// Finesse returns FSR/linewidth.
+func (r Ring) Finesse() float64 { return r.FSRGHz / r.LinewidthGHz }
+
+// DropTransmission returns the drop-port power transmission at a
+// detuning δ from resonance: the Lorentzian 1 / (1 + (2δ/Δν)²).
+func (r Ring) DropTransmission(detuneGHz float64) float64 {
+	x := 2 * detuneGHz / r.LinewidthGHz
+	return 1 / (1 + x*x)
+}
+
+// AdjacentChannelIsolationDB returns the drop-port suppression of a
+// neighbor `spacingGHz` away: 10·log10 of its Lorentzian tail.
+func (r Ring) AdjacentChannelIsolationDB(spacingGHz float64) float64 {
+	return 10 * math.Log10(r.DropTransmission(spacingGHz))
+}
+
+// TuningPowerMW returns the thermal power to hold the ring at a given
+// detuning from its as-fabricated resonance.
+func (r Ring) TuningPowerMW(detuneGHz float64) float64 {
+	return math.Abs(detuneGHz) * r.TuningMWPerGHz
+}
+
+// ChannelPlan is a WDM grid realized with identical rings.
+type ChannelPlan struct {
+	// K is the channel count, SpacingGHz the grid pitch.
+	K          int
+	SpacingGHz float64
+	// IsolationDB is the resulting adjacent-channel isolation.
+	IsolationDB float64
+	// WorstEye is the worst-case eye opening of a K-channel link at
+	// that isolation (via TransmitterConfig).
+	WorstEye float64
+}
+
+// PlanChannels spreads K channels across the ring's FSR and reports the
+// resulting isolation and link eye. It errs if the channels do not fit
+// (pitch below 3 linewidths makes even the center channel lossy).
+func (r Ring) PlanChannels(k int) (ChannelPlan, error) {
+	if err := r.Validate(); err != nil {
+		return ChannelPlan{}, err
+	}
+	if k < 1 {
+		return ChannelPlan{}, fmt.Errorf("photonics: k %d must be ≥ 1", k)
+	}
+	spacing := r.FSRGHz / float64(k)
+	if spacing < 3*r.LinewidthGHz {
+		return ChannelPlan{}, fmt.Errorf("photonics: %d channels need %.1f GHz pitch < 3 linewidths (%g GHz)",
+			k, spacing, 3*r.LinewidthGHz)
+	}
+	iso := r.AdjacentChannelIsolationDB(spacing)
+	cfg := DefaultTransmitterConfig(minInt(k, MaxWDMCapacity), 256)
+	cfg.ChannelIsolationDB = iso
+	plan := ChannelPlan{K: k, SpacingGHz: spacing, IsolationDB: iso}
+	if k <= MaxWDMCapacity {
+		plan.WorstEye = cfg.WorstCaseEyeOpening()
+	}
+	return plan, nil
+}
+
+// MaxRobustCapacity returns the largest K whose planned eye opening
+// stays above minEye — the device-level derivation of the paper's
+// capacity limit.
+func (r Ring) MaxRobustCapacity(minEye float64) int {
+	best := 1
+	for k := 2; k <= MaxWDMCapacity; k++ {
+		plan, err := r.PlanChannels(k)
+		if err != nil {
+			break
+		}
+		if plan.WorstEye >= minEye {
+			best = k
+		}
+	}
+	return best
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingValidate(t *testing.T) {
+	if err := DefaultRing().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Ring{
+		{FSRGHz: 0, LinewidthGHz: 5},
+		{FSRGHz: 100, LinewidthGHz: 0},
+		{FSRGHz: 100, LinewidthGHz: 200},
+		{FSRGHz: 100, LinewidthGHz: 5, TuningMWPerGHz: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLorentzianShape(t *testing.T) {
+	r := DefaultRing()
+	if got := r.DropTransmission(0); got != 1 {
+		t.Fatalf("on-resonance transmission = %g", got)
+	}
+	// Half maximum at δ = linewidth/2.
+	if got := r.DropTransmission(r.LinewidthGHz / 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FWHM point = %g, want 0.5", got)
+	}
+	if r.DropTransmission(10) <= r.DropTransmission(50) {
+		t.Fatal("transmission must fall with detuning")
+	}
+	if r.DropTransmission(-7) != r.DropTransmission(7) {
+		t.Fatal("Lorentzian must be symmetric")
+	}
+}
+
+func TestFinesseAndTuning(t *testing.T) {
+	r := DefaultRing()
+	if got := r.Finesse(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("finesse = %g", got)
+	}
+	if r.TuningPowerMW(-4) != r.TuningPowerMW(4) {
+		t.Fatal("tuning power must be symmetric in detuning")
+	}
+	if r.TuningPowerMW(10) != 2.5 {
+		t.Fatalf("tuning power = %g, want 2.5 mW", r.TuningPowerMW(10))
+	}
+}
+
+func TestIsolationImprovesWithSpacing(t *testing.T) {
+	r := DefaultRing()
+	prev := 0.0
+	for _, s := range []float64{20.0, 62.5, 125, 250} {
+		iso := r.AdjacentChannelIsolationDB(s)
+		if iso >= prev {
+			t.Fatalf("isolation not improving at %g GHz: %g >= %g", s, iso, prev)
+		}
+		prev = iso
+	}
+}
+
+func TestPlanChannels(t *testing.T) {
+	r := DefaultRing()
+	plan, err := r.PlanChannels(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SpacingGHz != 62.5 {
+		t.Fatalf("spacing = %g", plan.SpacingGHz)
+	}
+	if plan.IsolationDB > -20 {
+		t.Fatalf("K=16 isolation %g dB too weak for a finesse-200 ring", plan.IsolationDB)
+	}
+	if plan.WorstEye <= 0.9 {
+		t.Fatalf("K=16 eye %g should be clean at this isolation", plan.WorstEye)
+	}
+}
+
+func TestPlanChannelsRejectsOverpacking(t *testing.T) {
+	r := DefaultRing()
+	r.LinewidthGHz = 30 // sloppy ring: 16 channels at 62.5 GHz < 3 linewidths
+	if _, err := r.PlanChannels(16); err == nil {
+		t.Fatal("expected overpacking error")
+	}
+	if _, err := r.PlanChannels(0); err == nil {
+		t.Fatal("expected k≥1 error")
+	}
+}
+
+// TestCapacityLimitDerivation: a good ring supports the paper's K = 16;
+// a lossy one cannot — the device-level origin of the capacity bound.
+func TestCapacityLimitDerivation(t *testing.T) {
+	good := DefaultRing()
+	if k := good.MaxRobustCapacity(0.9); k != MaxWDMCapacity {
+		t.Fatalf("finesse-200 ring should reach K=%d, got %d", MaxWDMCapacity, k)
+	}
+	bad := DefaultRing()
+	bad.LinewidthGHz = 25 // finesse 40
+	if k := bad.MaxRobustCapacity(0.9); k >= MaxWDMCapacity {
+		t.Fatalf("finesse-40 ring should not reach K=16, got %d", k)
+	}
+}

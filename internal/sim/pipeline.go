@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pipelined (streaming) execution. The Run method prices one inference
+// end-to-end — the latency the paper's Fig. 7 reports. A spatial
+// architecture additionally overlaps consecutive inferences: each layer
+// section owns its own tiles, so once sample i leaves layer l, sample
+// i+1 can enter it. In steady state the throughput is set by the
+// slowest layer section (the pipeline bottleneck), not by the sum.
+// This goes beyond the paper's evaluation (which is latency-only) and
+// is documented as an extension in DESIGN.md.
+
+// PipelineResult summarizes steady-state streaming behaviour.
+type PipelineResult struct {
+	// BottleneckName is the slowest layer section.
+	BottleneckName string
+	// BottleneckNs is its per-sample service time.
+	BottleneckNs float64
+	// ThroughputPerSec is 1/BottleneckNs.
+	ThroughputPerSec float64
+	// LatencyNs is the single-sample fill latency (same as Run).
+	LatencyNs float64
+	// Occupancy[i] is section i's busy fraction at steady state.
+	Occupancy []LayerOccupancy
+}
+
+// LayerOccupancy is one pipeline stage's utilization.
+type LayerOccupancy struct {
+	Name string
+	// Busy is serviceTime/bottleneckTime ∈ (0, 1].
+	Busy float64
+}
+
+// Pipeline derives steady-state throughput from a Run result.
+func Pipeline(r *Result) (*PipelineResult, error) {
+	if r == nil || len(r.PerLayer) == 0 {
+		return nil, fmt.Errorf("sim: result has no layer sections")
+	}
+	p := &PipelineResult{LatencyNs: r.LatencyNs, BottleneckNs: -1}
+	for _, lt := range r.PerLayer {
+		if lt.LatencyNs > p.BottleneckNs {
+			p.BottleneckNs = lt.LatencyNs
+			p.BottleneckName = lt.Name
+		}
+	}
+	if p.BottleneckNs <= 0 {
+		return nil, fmt.Errorf("sim: degenerate bottleneck %g", p.BottleneckNs)
+	}
+	p.ThroughputPerSec = 1e9 / p.BottleneckNs
+	for _, lt := range r.PerLayer {
+		p.Occupancy = append(p.Occupancy, LayerOccupancy{
+			Name: lt.Name,
+			Busy: math.Max(0, lt.LatencyNs) / p.BottleneckNs,
+		})
+	}
+	return p, nil
+}
+
+// SpeedupOverSerial reports how much streaming beats back-to-back
+// single-sample execution for a long batch: latency/bottleneck.
+func (p *PipelineResult) SpeedupOverSerial() float64 {
+	return p.LatencyNs / p.BottleneckNs
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"einsteinbarrier/internal/arch"
+)
+
+func TestPipelineBasics(t *testing.T) {
+	s := newSim(t)
+	r, err := s.Run(compiled(t, "CNN-M", arch.EinsteinBarrier))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Pipeline(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BottleneckName == "" || p.BottleneckNs <= 0 {
+		t.Fatalf("bottleneck = %q %g", p.BottleneckName, p.BottleneckNs)
+	}
+	if p.ThroughputPerSec <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	// Throughput × bottleneck = 1 sample.
+	if d := p.ThroughputPerSec * p.BottleneckNs / 1e9; d < 0.999 || d > 1.001 {
+		t.Fatalf("throughput inconsistency %g", d)
+	}
+}
+
+func TestPipelineBeatsSerial(t *testing.T) {
+	// Multi-layer networks must gain from streaming, bounded by the
+	// section count.
+	s := newSim(t)
+	r, _ := s.Run(compiled(t, "CNN-L", arch.TacitEPCM))
+	p, err := Pipeline(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := p.SpeedupOverSerial()
+	if gain <= 1 {
+		t.Fatalf("streaming gain %g must exceed 1", gain)
+	}
+	if gain > float64(len(r.PerLayer)) {
+		t.Fatalf("streaming gain %g exceeds stage count %d", gain, len(r.PerLayer))
+	}
+}
+
+func TestPipelineOccupancy(t *testing.T) {
+	s := newSim(t)
+	r, _ := s.Run(compiled(t, "MLP-M", arch.TacitEPCM))
+	p, err := Pipeline(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBottleneck := false
+	for _, o := range p.Occupancy {
+		if o.Busy < 0 || o.Busy > 1.0000001 {
+			t.Fatalf("occupancy %g outside [0,1] for %s", o.Busy, o.Name)
+		}
+		if o.Name == p.BottleneckName && o.Busy > 0.999 {
+			sawBottleneck = true
+		}
+	}
+	if !sawBottleneck {
+		t.Fatal("bottleneck stage must be fully busy")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := Pipeline(nil); err == nil {
+		t.Fatal("nil result should fail")
+	}
+	if _, err := Pipeline(&Result{}); err == nil {
+		t.Fatal("empty result should fail")
+	}
+}
+
+func TestPipelineOrderingAcrossDesigns(t *testing.T) {
+	// Streaming throughput preserves the design ordering too.
+	s := newSim(t)
+	var tput [3]float64
+	for i, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+		r, _ := s.Run(compiled(t, "CNN-M", d))
+		p, err := Pipeline(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput[i] = p.ThroughputPerSec
+	}
+	if !(tput[0] < tput[1] && tput[1] < tput[2]) {
+		t.Fatalf("throughput ordering broken: %v", tput)
+	}
+}

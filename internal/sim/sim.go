@@ -1,0 +1,213 @@
+// Package sim executes compiled instruction streams (internal/isa) over
+// an architecture configuration (internal/arch), pricing every hardware
+// event with the cost tables (internal/energy) and the interconnect
+// model (internal/noc). It produces the per-design latency and energy
+// numbers behind the paper's Fig. 7 and Fig. 8.
+package sim
+
+import (
+	"fmt"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/isa"
+	"einsteinbarrier/internal/noc"
+)
+
+// Result is the outcome of simulating one inference.
+type Result struct {
+	// ModelName and Design echo the inputs.
+	ModelName string
+	Design    arch.Design
+	// LatencyNs is the end-to-end critical-path latency of one
+	// inference.
+	LatencyNs float64
+	// Energy is the energy breakdown (pJ).
+	Energy energy.Breakdown
+	// Counters aggregates raw event counts.
+	Counters Counters
+	// PerLayer holds per-SYNC-section latencies, keyed by order.
+	PerLayer []LayerTime
+}
+
+// LayerTime is the latency contribution of one layer section.
+type LayerTime struct {
+	Name      string
+	LatencyNs float64
+}
+
+// Counters tallies raw events.
+type Counters struct {
+	VMMs, MMMs, RowSteps, FPVMMs     int64
+	ADCConversions, DACConversions   int64
+	DigitalAdds, Popcounts, Threshes int64
+	BytesMoved                       int64
+	Instructions                     int64
+}
+
+// EnergyPJ is a convenience accessor.
+func (r *Result) EnergyPJ() float64 { return r.Energy.TotalPJ() }
+
+// Simulator prices instruction streams.
+type Simulator struct {
+	cfg   arch.Config
+	costs energy.CostParams
+	mesh  noc.Config
+}
+
+// New builds a simulator; it validates all configuration up front.
+func New(cfg arch.Config, costs energy.CostParams) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := noc.DefaultConfig(cfg.MeshWidth())
+	if err := mesh.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, costs: costs, mesh: mesh}, nil
+}
+
+// Costs exposes the active cost table.
+func (s *Simulator) Costs() energy.CostParams { return s.costs }
+
+// Run executes a compiled model and returns the inference result.
+func (s *Simulator) Run(c *compiler.Compiled) (*Result, error) {
+	if err := c.Program.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{ModelName: c.ModelName, Design: c.Design}
+	adcRounds := s.cfg.ADCRoundsPerVMM()
+	// Optical power is duty-cycled: the transmitter (laser, modulators,
+	// comb tuning — Eq. (3), scaled to the rows the layer actually
+	// modulates) illuminates the array only for the optical settling
+	// window. One transmitter stream is broadcast to all tiles holding
+	// slices of the same input (on-chip optical broadcast, Cardoso et
+	// al. 2022); replicas processing different positions need their own
+	// streams. Each TIA is powered for its own deserialization slot, so
+	// TIA energy rides on the conversion count. mW × ns = pJ.
+	isOptical := c.Design == arch.EinsteinBarrier
+	opticalStaticPJ := func(repeat, convs int64, rows, streams int) float64 {
+		if !isOptical {
+			return 0
+		}
+		if streams < 1 {
+			streams = 1
+		}
+		if rows < 1 {
+			rows = s.cfg.CrossbarRows
+		}
+		txMW := s.costs.TransmitterPowerMW(s.cfg.WDMCapacity, rows)
+		perStep := txMW * s.costs.SettleONs * float64(streams)
+		tia := float64(convs) * s.costs.TIAEnergyPJ
+		return float64(repeat) * (perStep + tia)
+	}
+	sectionStart := 0.0
+	sectionName := ""
+	for _, in := range c.Program {
+		res.Counters.Instructions++
+		var dt float64
+		var e energy.Breakdown
+		switch in.Op {
+		case isa.OpNop, isa.OpHalt:
+			// free
+		case isa.OpSync:
+			dt = s.costs.LayerOverheadNs
+			e.ControlPJ = s.costs.LayerOverheadPJ
+			res.PerLayer = append(res.PerLayer, LayerTime{
+				Name:      in.Comment,
+				LatencyNs: res.LatencyNs + dt - sectionStart,
+			})
+			sectionStart = res.LatencyNs + dt
+			sectionName = ""
+		case isa.OpMVM:
+			dt = float64(in.Repeat) * s.costs.VMMStepENs(adcRounds)
+			res.Counters.VMMs += in.Repeat * int64(in.Tiles)
+			res.Counters.ADCConversions += in.Repeat * in.Convs
+			res.Counters.DACConversions += in.Repeat * in.DACs
+			e.CrossbarPJ = float64(in.Repeat*in.Cells) * s.costs.CellReadEPJ
+			e.ADCPJ = float64(in.Repeat*in.Convs) * s.costs.ADCEPJ
+			e.DACPJ = float64(in.Repeat*in.DACs) * s.costs.DACPJ
+		case isa.OpMMM:
+			dt = float64(in.Repeat) * s.costs.VMMStepONs(adcRounds)
+			res.Counters.MMMs += in.Repeat * int64(in.Tiles)
+			res.Counters.ADCConversions += in.Repeat * in.Convs
+			res.Counters.DACConversions += in.Repeat * in.DACs
+			e.CrossbarPJ = float64(in.Repeat*in.Cells) * s.costs.CellReadOPJ
+			e.ADCPJ = float64(in.Repeat*in.Convs) * s.costs.ADCOPJ
+			e.DACPJ = float64(in.Repeat*in.DACs) * s.costs.DACPJ
+			e.StaticPJ = opticalStaticPJ(in.Repeat, in.Convs, int(in.Count), 1)
+		case isa.OpFPMVM:
+			// Bit-streamed multi-bit VMM: Bits sequential analog steps.
+			bits := float64(in.Bits)
+			if c.Design == arch.EinsteinBarrier {
+				dt = float64(in.Repeat) * bits * s.costs.VMMStepONs(adcRounds)
+				e.CrossbarPJ = float64(in.Repeat*in.Cells) * s.costs.CellReadOPJ
+				e.ADCPJ = float64(in.Repeat*in.Convs) * s.costs.ADCOPJ
+				e.StaticPJ = opticalStaticPJ(
+					in.Repeat*int64(in.Bits), in.Convs/int64(in.Bits), int(in.Count), in.K)
+			} else {
+				dt = float64(in.Repeat) * bits * s.costs.VMMStepENs(adcRounds)
+				e.CrossbarPJ = float64(in.Repeat*in.Cells) * s.costs.CellReadEPJ
+				e.ADCPJ = float64(in.Repeat*in.Convs) * s.costs.ADCEPJ
+			}
+			res.Counters.FPVMMs += in.Repeat * int64(in.Tiles) * int64(in.Bits)
+			res.Counters.ADCConversions += in.Repeat * in.Convs
+			res.Counters.DACConversions += in.Repeat * in.DACs
+			e.DACPJ = float64(in.Repeat*in.DACs) * s.costs.DACPJ
+		case isa.OpRowStep:
+			dt = float64(in.Repeat) * float64(in.Count) * s.costs.RowStepNs
+			res.Counters.RowSteps += in.Repeat * in.Count
+			e.SensePJ = float64(in.Repeat*in.Cells)*s.costs.PCSADevicePJ +
+				float64(in.Repeat*in.Count)*s.costs.CounterPJ
+		// The digital post-processing units (popcount trees, partial-sum
+		// adders, threshold units) are pipelined behind the analog
+		// steps — one result per step drains through them — so they
+		// contribute energy but no critical-path latency.
+		case isa.OpPopc:
+			res.Counters.Popcounts += in.Count
+			e.DigitalPJ = float64(in.Count) * s.costs.PopcountPJ
+		case isa.OpAdd:
+			res.Counters.DigitalAdds += in.Count
+			e.DigitalPJ = float64(in.Count) * s.costs.DigitalAddPJ
+		case isa.OpThresh:
+			res.Counters.Threshes += in.Count
+			e.DigitalPJ = float64(in.Count) * s.costs.DigitalAddPJ
+		case isa.OpSend:
+			lat, pj, err := s.mesh.Transfer(in.Bytes, in.Hops, in.ChipHops)
+			if err != nil {
+				return nil, err
+			}
+			dt = lat
+			res.Counters.BytesMoved += in.Bytes
+			e.ControlPJ = pj
+		default:
+			return nil, fmt.Errorf("sim: unknown opcode %v", in.Op)
+		}
+		_ = sectionName
+		res.LatencyNs += dt
+		res.Energy.Add(e)
+	}
+	return res, nil
+}
+
+// RunModelOnDesigns compiles and simulates a model on all three CIM
+// designs, returning results keyed by design.
+func RunModelOnDesigns(s *Simulator, mcompile func(arch.Design) (*compiler.Compiled, error)) (map[arch.Design]*Result, error) {
+	out := make(map[arch.Design]*Result, 3)
+	for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+		c, err := mcompile(d)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = r
+	}
+	return out, nil
+}
