@@ -253,24 +253,57 @@ func BenchmarkBitops(b *testing.B) {
 			}
 		})
 	}
+	w := bitops.NewMatrix(256, 1024)
+	for r := 0; r < 256; r++ {
+		for c := 0; c < 1024; c++ {
+			w.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	x := bitops.NewVector(1024)
+	for i := 0; i < 1024; i++ {
+		if rng.Intn(2) == 1 {
+			x.Set(i)
+		}
+	}
+	dst := make([]int, 256)
 	b.Run("BipolarMatVec/256x1024", func(b *testing.B) {
-		w := bitops.NewMatrix(256, 1024)
-		for r := 0; r < 256; r++ {
-			for c := 0; c < 1024; c++ {
-				w.Set(r, c, rng.Intn(2) == 1)
-			}
-		}
-		x := bitops.NewVector(1024)
-		for i := 0; i < 1024; i++ {
-			if rng.Intn(2) == 1 {
-				x.Set(i)
-			}
-		}
-		b.ResetTimer()
+		b.SetBytes(256 * 1024 / 8)
 		for i := 0; i < b.N; i++ {
-			_ = w.BipolarMatVec(x)
+			w.BipolarMatVecInto(x, dst)
 		}
 	})
+	b.Run("XnorPopcountAllInto/256x1024", func(b *testing.B) {
+		b.SetBytes(256 * 1024 / 8)
+		for i := 0; i < b.N; i++ {
+			w.XnorPopcountAllInto(x, dst)
+		}
+	})
+	b.Run("Transpose/256x1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = w.Transpose()
+		}
+	})
+}
+
+// BenchmarkEvalRun measures the full Fig. 7/8 evaluation (compile +
+// simulate, all networks × designs) through the parallel engine at
+// several worker-pool sizes; workers=1 is the serial reference.
+func BenchmarkEvalRun(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := eval.DefaultConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCompile measures the compiler itself across the zoo.

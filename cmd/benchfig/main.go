@@ -24,12 +24,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "zoo weight-synthesis seed")
 	k := flag.Int("k", 0, "override WDM capacity (default: architecture default 16)")
 	colsPerADC := flag.Int("cols-per-adc", 0, "override ADC sharing factor")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = one per CPU, 1 = serial)")
 	csvOut := flag.Bool("csv", false, "emit the full report as CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
 	flag.Parse()
 
 	cfg := eval.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *k > 0 {
 		cfg.Arch.WDMCapacity = *k
 	}

@@ -16,6 +16,8 @@ import (
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/core"
 	"einsteinbarrier/internal/dataset"
+	"einsteinbarrier/internal/infer"
+	"einsteinbarrier/internal/tensor"
 )
 
 func main() {
@@ -119,9 +121,13 @@ func trainDemo(seed int64) {
 		fmt.Printf("epoch %2d  loss %.4f  test acc %.3f\n", epoch, loss, tr.Accuracy(txs, tys))
 	}
 	m := tr.Export("digit-mlp")
-	correct := 0
+	batch := make([]*tensor.Float, len(test))
 	for i, s := range test {
-		if m.Predict(s.X.Reshape(784)) == tys[i] {
+		batch[i] = s.X.Reshape(784)
+	}
+	correct := 0
+	for i, class := range infer.New(m, 0).PredictBatch(batch) {
+		if class == tys[i] {
 			correct++
 		}
 	}

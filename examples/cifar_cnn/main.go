@@ -30,6 +30,7 @@ import (
 	"einsteinbarrier/internal/dataset"
 	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/photonics"
 	"einsteinbarrier/internal/sim"
 	"einsteinbarrier/internal/tensor"
@@ -41,11 +42,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 1. Reference inference over a few synthetic CIFAR-like samples.
+	// 1. Reference inference over a few synthetic CIFAR-like samples,
+	// batched through the parallel inference engine (one scratch-carrying
+	// model clone per worker; output order matches input order).
 	samples := dataset.Textures(8, 3)
+	xs := make([]*tensor.Float, len(samples))
+	for i, s := range samples {
+		xs[i] = s.X
+	}
 	hist := make(map[int]int)
-	for _, s := range samples {
-		hist[model.Predict(s.X)]++
+	for _, class := range infer.New(model, 0).PredictBatch(xs) {
+		hist[class]++
 	}
 	fmt.Printf("CNN-M reference inference over %d texture samples: class histogram %v\n",
 		len(samples), hist)

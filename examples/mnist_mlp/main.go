@@ -29,7 +29,9 @@ import (
 	"einsteinbarrier/internal/dataset"
 	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/sim"
+	"einsteinbarrier/internal/tensor"
 )
 
 func main() {
@@ -52,11 +54,25 @@ func main() {
 	}
 	fmt.Printf("trained BNN test accuracy: %.3f\n", tr.Accuracy(txs, tys))
 
-	// 2. Export the frozen model.
+	// 2. Export the frozen model and check it on the held-out set with
+	// the parallel batched inference engine (per-worker model clones,
+	// deterministic output order).
 	model := tr.Export("digit-mlp")
 	if err := model.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	batch := make([]*tensor.Float, len(test))
+	for i, s := range test {
+		batch[i] = s.X.Reshape(784)
+	}
+	correct := 0
+	for i, class := range infer.New(model, 0).PredictBatch(batch) {
+		if class == tys[i] {
+			correct++
+		}
+	}
+	fmt.Printf("exported model accuracy (parallel batch of %d): %.3f\n",
+		len(batch), float64(correct)/float64(len(batch)))
 
 	// 3. Run the binary hidden layer on a simulated noisy oPCM crossbar.
 	var hidden *bnn.BinaryDense

@@ -1,0 +1,3 @@
+module einsteinbarrier
+
+go 1.24

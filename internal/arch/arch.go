@@ -29,6 +29,11 @@ const (
 	EinsteinBarrier
 )
 
+// CIMDesigns is the canonical evaluated CIM design set of Fig. 7/8, in
+// report order — the single source of truth for code that iterates
+// over all designs.
+var CIMDesigns = []Design{BaselineEPCM, TacitEPCM, EinsteinBarrier}
+
 // String implements fmt.Stringer.
 func (d Design) String() string {
 	switch d {

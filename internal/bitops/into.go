@@ -1,0 +1,132 @@
+package bitops
+
+import "fmt"
+
+// This file holds the allocation-free "Into" variants of the Vector
+// constructors and bitwise operators. The convention, shared across the
+// repo (see DESIGN.md): an Into method writes its result into a
+// caller-owned destination of matching length and returns it; a nil
+// destination allocates, so `op.Into(x, nil)` ≡ `op(x)`. The allocating
+// APIs in vector.go are thin wrappers over these.
+
+func (v *Vector) checkDst(dst *Vector, op string) *Vector {
+	if dst == nil {
+		return NewVector(v.n)
+	}
+	if dst.n != v.n {
+		panic(fmt.Sprintf("bitops: %s dst length %d, want %d", op, dst.n, v.n))
+	}
+	return dst
+}
+
+// Zero clears every bit of v.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with the bits of u (lengths must match).
+func (v *Vector) CopyFrom(u *Vector) {
+	v.sameLen(u)
+	copy(v.words, u.words)
+}
+
+// SetFromFloats re-binarizes v in place from a float slice with the
+// sign function (x > 0 → 1, x ≤ 0 → 0); len(xs) must equal v.Len().
+// This is the steady-state form of FromFloats: one packed word is built
+// per 64 inputs and no memory is allocated.
+func (v *Vector) SetFromFloats(xs []float64) *Vector {
+	if len(xs) != v.n {
+		panic(fmt.Sprintf("bitops: SetFromFloats input length %d, want %d", len(xs), v.n))
+	}
+	for wi := range v.words {
+		base := wi * wordBits
+		span := v.n - base
+		if span > wordBits {
+			span = wordBits
+		}
+		var w uint64
+		for b, f := range xs[base : base+span] {
+			if f > 0 {
+				w |= 1 << uint(b)
+			}
+		}
+		v.words[wi] = w
+	}
+	return v
+}
+
+// SetFromBipolar re-binarizes v in place from a {-1,+1} (or
+// real-valued) int slice with the same s > 0 → 1 rule as FromBipolar.
+func (v *Vector) SetFromBipolar(xs []int) *Vector {
+	if len(xs) != v.n {
+		panic(fmt.Sprintf("bitops: SetFromBipolar input length %d, want %d", len(xs), v.n))
+	}
+	for wi := range v.words {
+		base := wi * wordBits
+		span := v.n - base
+		if span > wordBits {
+			span = wordBits
+		}
+		var w uint64
+		for b, s := range xs[base : base+span] {
+			if s > 0 {
+				w |= 1 << uint(b)
+			}
+		}
+		v.words[wi] = w
+	}
+	return v
+}
+
+// NotInto writes the bitwise complement of v into dst (canonical form).
+func (v *Vector) NotInto(dst *Vector) *Vector {
+	dst = v.checkDst(dst, "NotInto")
+	for i, w := range v.words {
+		dst.words[i] = ^w
+	}
+	dst.canonicalize()
+	return dst
+}
+
+// XnorInto writes the bitwise XNOR of v and u into dst (canonical form).
+func (v *Vector) XnorInto(u, dst *Vector) *Vector {
+	v.sameLen(u)
+	dst = v.checkDst(dst, "XnorInto")
+	for i, w := range v.words {
+		dst.words[i] = ^(w ^ u.words[i])
+	}
+	dst.canonicalize()
+	return dst
+}
+
+// XorInto writes the bitwise XOR of v and u into dst.
+func (v *Vector) XorInto(u, dst *Vector) *Vector {
+	v.sameLen(u)
+	dst = v.checkDst(dst, "XorInto")
+	for i, w := range v.words {
+		dst.words[i] = w ^ u.words[i]
+	}
+	return dst
+}
+
+// AndInto writes the bitwise AND of v and u into dst.
+func (v *Vector) AndInto(u, dst *Vector) *Vector {
+	v.sameLen(u)
+	dst = v.checkDst(dst, "AndInto")
+	for i, w := range v.words {
+		dst.words[i] = w & u.words[i]
+	}
+	return dst
+}
+
+// OrInto writes the bitwise OR of v and u into dst.
+func (v *Vector) OrInto(u, dst *Vector) *Vector {
+	v.sameLen(u)
+	dst = v.checkDst(dst, "OrInto")
+	for i, w := range v.words {
+		dst.words[i] = w | u.words[i]
+	}
+	return dst
+}

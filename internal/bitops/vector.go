@@ -54,25 +54,14 @@ func FromBools(b []bool) *Vector {
 // standard BNN encoding +1 → 1, -1 → 0. Any value > 0 maps to 1 so that
 // the same helper binarizes real-valued pre-activations (sign function).
 func FromBipolar(x []int) *Vector {
-	v := NewVector(len(x))
-	for i, s := range x {
-		if s > 0 {
-			v.Set(i)
-		}
-	}
-	return v
+	return NewVector(len(x)).SetFromBipolar(x)
 }
 
 // FromFloats binarizes a float slice with the sign function
 // (x > 0 → 1, x ≤ 0 → 0), the binarization used for BNN activations.
+// The allocation-free form is Vector.SetFromFloats.
 func FromFloats(x []float64) *Vector {
-	v := NewVector(len(x))
-	for i, f := range x {
-		if f > 0 {
-			v.Set(i)
-		}
-	}
-	return v
+	return NewVector(len(x)).SetFromFloats(x)
 }
 
 func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
@@ -165,55 +154,19 @@ func (v *Vector) Popcount() int {
 // Not returns the bitwise complement of v (in canonical form).
 // The complement is central to both mappings in the paper: TacitMap
 // stores [W ; ¬W] vertically, CustBinaryMap interleaves W with ¬W.
-func (v *Vector) Not() *Vector {
-	w := NewVector(v.n)
-	for i := range v.words {
-		w.words[i] = ^v.words[i]
-	}
-	w.canonicalize()
-	return w
-}
+func (v *Vector) Not() *Vector { return v.NotInto(nil) }
 
 // Xnor returns the bitwise XNOR of v and u. It panics on length mismatch.
-func (v *Vector) Xnor(u *Vector) *Vector {
-	v.sameLen(u)
-	w := NewVector(v.n)
-	for i := range v.words {
-		w.words[i] = ^(v.words[i] ^ u.words[i])
-	}
-	w.canonicalize()
-	return w
-}
+func (v *Vector) Xnor(u *Vector) *Vector { return v.XnorInto(u, nil) }
 
 // Xor returns the bitwise XOR of v and u. It panics on length mismatch.
-func (v *Vector) Xor(u *Vector) *Vector {
-	v.sameLen(u)
-	w := NewVector(v.n)
-	for i := range v.words {
-		w.words[i] = v.words[i] ^ u.words[i]
-	}
-	return w
-}
+func (v *Vector) Xor(u *Vector) *Vector { return v.XorInto(u, nil) }
 
 // And returns the bitwise AND of v and u. It panics on length mismatch.
-func (v *Vector) And(u *Vector) *Vector {
-	v.sameLen(u)
-	w := NewVector(v.n)
-	for i := range v.words {
-		w.words[i] = v.words[i] & u.words[i]
-	}
-	return w
-}
+func (v *Vector) And(u *Vector) *Vector { return v.AndInto(u, nil) }
 
 // Or returns the bitwise OR of v and u. It panics on length mismatch.
-func (v *Vector) Or(u *Vector) *Vector {
-	v.sameLen(u)
-	w := NewVector(v.n)
-	for i := range v.words {
-		w.words[i] = v.words[i] | u.words[i]
-	}
-	return w
-}
+func (v *Vector) Or(u *Vector) *Vector { return v.OrInto(u, nil) }
 
 func (v *Vector) sameLen(u *Vector) {
 	if v.n != u.n {

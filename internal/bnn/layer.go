@@ -31,9 +31,19 @@ type Layer interface {
 	Name() string
 	// OutShape maps an input shape to the layer's output shape.
 	OutShape(in []int) []int
-	// Forward runs the reference inference path.
+	// Forward runs the reference inference path. The returned tensor is
+	// owned by the layer and overwritten by its next Forward call, so
+	// steady-state inference allocates nothing; Clone the result to
+	// retain it. Forward is not safe for concurrent use on the same
+	// layer — see Model.CloneShared for cheap per-goroutine copies.
 	Forward(x *tensor.Float) *tensor.Float
 }
+
+// sharedCloner is implemented by the built-in layers: cloneShared
+// returns a copy sharing the (immutable at inference time) weights but
+// owning fresh scratch buffers, so the copy can run Forward on another
+// goroutine.
+type sharedCloner interface{ cloneShared() Layer }
 
 // Binarized is implemented by layers whose arithmetic is XNOR+Popcount
 // and which are therefore mapped onto crossbars.
@@ -82,14 +92,22 @@ type DenseFP struct {
 	// ReLU applies max(0,·) when true (hidden FP layers); output layers
 	// leave logits linear.
 	ReLU bool
+
+	out *tensor.Float // reusable output buffer
+}
+
+func (d *DenseFP) cloneShared() Layer {
+	c := *d
+	c.out = nil
+	return &c
 }
 
 // Name implements Layer.
 func (d *DenseFP) Name() string { return d.LayerName }
 
 // InDim and OutDim report the weight dimensions.
-func (d *DenseFP) InDim() int  { return d.W.Shape()[1] }
-func (d *DenseFP) OutDim() int { return d.W.Shape()[0] }
+func (d *DenseFP) InDim() int  { return d.W.Dim(1) }
+func (d *DenseFP) OutDim() int { return d.W.Dim(0) }
 
 // OutShape implements Layer.
 func (d *DenseFP) OutShape(in []int) []int { return []int{d.OutDim()} }
@@ -100,7 +118,10 @@ func (d *DenseFP) Forward(x *tensor.Float) *tensor.Float {
 	if x.Size() != in {
 		panic(fmt.Sprintf("bnn: %s: input size %d, want %d", d.LayerName, x.Size(), in))
 	}
-	y := tensor.NewFloat(out)
+	if d.out == nil {
+		d.out = tensor.NewFloat(out)
+	}
+	y := d.out
 	xd, wd := x.Data(), d.W.Data()
 	for o := 0; o < out; o++ {
 		s := d.B[o]
@@ -128,6 +149,15 @@ type ConvFP struct {
 	OutC int
 	K    *tensor.Float
 	B    []float64
+
+	cols *tensor.Float // reusable im2col buffer
+	out  *tensor.Float // reusable output buffer
+}
+
+func (c *ConvFP) cloneShared() Layer {
+	cc := *c
+	cc.cols, cc.out = nil, nil
+	return &cc
 }
 
 // Name implements Layer.
@@ -140,9 +170,13 @@ func (c *ConvFP) OutShape(in []int) []int {
 
 // Forward implements Layer.
 func (c *ConvFP) Forward(x *tensor.Float) *tensor.Float {
-	cols := c.Geom.Im2Col(x)
+	if c.out == nil {
+		c.cols = tensor.NewFloat(c.Geom.Positions(), c.Geom.PatchLen())
+		c.out = tensor.NewFloat(c.OutC, c.Geom.OutH(), c.Geom.OutW())
+	}
+	cols := c.Geom.Im2ColInto(x, c.cols)
 	pl := c.Geom.PatchLen()
-	y := tensor.NewFloat(c.OutC, c.Geom.OutH(), c.Geom.OutW())
+	y := c.out
 	kd := c.K.Data()
 	for o := 0; o < c.OutC; o++ {
 		row := kd[o*pl : (o+1)*pl]
@@ -175,6 +209,17 @@ type BinaryDense struct {
 	W *bitops.Matrix
 	// Thresh has length out; compare against the bipolar dot product.
 	Thresh []int
+
+	// Reusable scratch: binarized input, popcount accumulator, output.
+	xb   *bitops.Vector
+	dots []int
+	out  *tensor.Float
+}
+
+func (b *BinaryDense) cloneShared() Layer {
+	c := *b
+	c.xb, c.dots, c.out = nil, nil, nil
+	return &c
 }
 
 // Name implements Layer.
@@ -191,22 +236,28 @@ func (b *BinaryDense) Workload() Workload {
 	return Workload{LayerName: b.LayerName, N: b.W.Rows(), M: b.W.Cols(), Positions: 1}
 }
 
-// Forward implements Layer; output entries are ±1.
+// Forward implements Layer; output entries are ±1. Steady-state calls
+// reuse the layer's scratch buffers and allocate nothing.
 func (b *BinaryDense) Forward(x *tensor.Float) *tensor.Float {
 	if x.Size() != b.W.Cols() {
 		panic(fmt.Sprintf("bnn: %s: input size %d, want %d", b.LayerName, x.Size(), b.W.Cols()))
 	}
-	xb := binarize(x.Data())
-	dots := b.W.BipolarMatVec(xb)
-	y := tensor.NewFloat(b.W.Rows())
-	for o, d := range dots {
+	if b.out == nil {
+		b.xb = bitops.NewVector(b.W.Cols())
+		b.dots = make([]int, b.W.Rows())
+		b.out = tensor.NewFloat(b.W.Rows())
+	}
+	b.xb.SetFromFloats(x.Data())
+	b.W.BipolarMatVecInto(b.xb, b.dots)
+	y := b.out.Data()
+	for o, d := range b.dots {
 		if d >= b.Thresh[o] {
-			y.Data()[o] = 1
+			y[o] = 1
 		} else {
-			y.Data()[o] = -1
+			y[o] = -1
 		}
 	}
-	return y
+	return b.out
 }
 
 // ForwardPopcounts exposes the raw popcounts for one binarized input —
@@ -227,6 +278,20 @@ type BinaryConv2D struct {
 	K    *bitops.Matrix
 	// Thresh has length outC.
 	Thresh []int
+
+	// Reusable scratch: im2col buffer, one binarized patch, popcounts,
+	// output — so Forward allocates nothing per patch (or at all) in
+	// steady state.
+	cols *tensor.Float
+	xb   *bitops.Vector
+	dots []int
+	out  *tensor.Float
+}
+
+func (b *BinaryConv2D) cloneShared() Layer {
+	c := *b
+	c.cols, c.xb, c.dots, c.out = nil, nil, nil, nil
+	return &c
 }
 
 // Name implements Layer.
@@ -250,24 +315,32 @@ func (b *BinaryConv2D) Workload() Workload {
 	}
 }
 
-// Forward implements Layer; output entries are ±1.
+// Forward implements Layer; output entries are ±1. The im2col buffer,
+// the binarized patch vector, and the popcount accumulator are all
+// layer-owned scratch, so steady-state calls allocate nothing per patch.
 func (b *BinaryConv2D) Forward(x *tensor.Float) *tensor.Float {
-	cols := b.Geom.Im2Col(x)
 	pl := b.Geom.PatchLen()
 	pos := b.Geom.Positions()
-	y := tensor.NewFloat(b.OutC, b.Geom.OutH(), b.Geom.OutW())
+	if b.out == nil {
+		b.cols = tensor.NewFloat(pos, pl)
+		b.xb = bitops.NewVector(pl)
+		b.dots = make([]int, b.K.Rows())
+		b.out = tensor.NewFloat(b.OutC, b.Geom.OutH(), b.Geom.OutW())
+	}
+	cols := b.Geom.Im2ColInto(x, b.cols).Data()
+	y := b.out.Data()
 	for p := 0; p < pos; p++ {
-		patch := binarize(cols.Data()[p*pl : (p+1)*pl])
-		dots := b.K.BipolarMatVec(patch)
+		b.xb.SetFromFloats(cols[p*pl : (p+1)*pl])
+		b.K.BipolarMatVecInto(b.xb, b.dots)
 		for o := 0; o < b.OutC; o++ {
 			v := -1.0
-			if dots[o] >= b.Thresh[o] {
+			if b.dots[o] >= b.Thresh[o] {
 				v = 1
 			}
-			y.Data()[o*pos+p] = v
+			y[o*pos+p] = v
 		}
 	}
-	return y
+	return b.out
 }
 
 // PatchVectors returns the binarized im2col patches of x — the exact
@@ -286,7 +359,17 @@ func (b *BinaryConv2D) PatchVectors(x *tensor.Float) []*bitops.Vector {
 
 // Sign binarizes a float tensor to ±1 (the activation binarization
 // between the FP input layer and the first binary layer).
-type Sign struct{ LayerName string }
+type Sign struct {
+	LayerName string
+
+	out *tensor.Float // reusable output buffer
+}
+
+func (s *Sign) cloneShared() Layer {
+	c := *s
+	c.out = nil
+	return &c
+}
 
 // Name implements Layer.
 func (s *Sign) Name() string { return s.LayerName }
@@ -296,15 +379,18 @@ func (s *Sign) OutShape(in []int) []int { return in }
 
 // Forward implements Layer.
 func (s *Sign) Forward(x *tensor.Float) *tensor.Float {
-	y := x.Clone()
-	for i, v := range y.Data() {
+	if s.out == nil || !s.out.SameShape(x) {
+		s.out = tensor.NewFloat(x.Shape()...)
+	}
+	y := s.out.Data()
+	for i, v := range x.Data() {
 		if v > 0 {
-			y.Data()[i] = 1
+			y[i] = 1
 		} else {
-			y.Data()[i] = -1
+			y[i] = -1
 		}
 	}
-	return y
+	return s.out
 }
 
 // MaxPool2D pools CHW tensors with a square window; on ±1 activations
@@ -312,6 +398,14 @@ func (s *Sign) Forward(x *tensor.Float) *tensor.Float {
 type MaxPool2D struct {
 	LayerName string
 	Size      int
+
+	out *tensor.Float // reusable output buffer
+}
+
+func (m *MaxPool2D) cloneShared() Layer {
+	c := *m
+	c.out = nil
+	return &c
 }
 
 // Name implements Layer.
@@ -327,33 +421,44 @@ func (m *MaxPool2D) OutShape(in []int) []int {
 
 // Forward implements Layer.
 func (m *MaxPool2D) Forward(x *tensor.Float) *tensor.Float {
-	sh := x.Shape()
-	if len(sh) != 3 {
-		panic(fmt.Sprintf("bnn: %s: pooling needs CHW input, got %v", m.LayerName, sh))
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("bnn: %s: pooling needs CHW input, got %v", m.LayerName, x.Shape()))
 	}
-	c, h, w := sh[0], sh[1], sh[2]
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := h/m.Size, w/m.Size
-	y := tensor.NewFloat(c, oh, ow)
+	if m.out == nil || m.out.Dim(0) != c || m.out.Dim(1) != oh || m.out.Dim(2) != ow {
+		m.out = tensor.NewFloat(c, oh, ow)
+	}
+	xd, yd := x.Data(), m.out.Data()
 	for ci := 0; ci < c; ci++ {
 		for i := 0; i < oh; i++ {
 			for j := 0; j < ow; j++ {
 				best := math.Inf(-1)
 				for di := 0; di < m.Size; di++ {
+					rowBase := (ci*h + i*m.Size + di) * w
 					for dj := 0; dj < m.Size; dj++ {
-						if v := x.At(ci, i*m.Size+di, j*m.Size+dj); v > best {
+						if v := xd[rowBase+j*m.Size+dj]; v > best {
 							best = v
 						}
 					}
 				}
-				y.Set(best, ci, i, j)
+				yd[(ci*oh+i)*ow+j] = best
 			}
 		}
 	}
-	return y
+	return m.out
 }
 
 // Flatten reshapes any tensor to rank 1.
-type Flatten struct{ LayerName string }
+type Flatten struct {
+	LayerName string
+
+	out tensor.Float // reusable alias view of the input
+}
+
+func (f *Flatten) cloneShared() Layer {
+	return &Flatten{LayerName: f.LayerName}
+}
 
 // Name implements Layer.
 func (f *Flatten) Name() string { return f.LayerName }
@@ -367,7 +472,8 @@ func (f *Flatten) OutShape(in []int) []int {
 	return []int{n}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The result is a reshaped alias of x's
+// data, built without copying or allocating.
 func (f *Flatten) Forward(x *tensor.Float) *tensor.Float {
-	return x.Reshape(x.Size())
+	return f.out.Alias(x, x.Size())
 }

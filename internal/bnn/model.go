@@ -44,6 +44,13 @@ func (m *Model) Validate() error {
 }
 
 // Infer runs the reference forward pass and returns the logits.
+//
+// Layers reuse internal scratch buffers, so steady-state inference
+// allocates nothing per layer; the returned tensor is owned by the
+// final layer and overwritten by the next Infer call on this model
+// (Clone it to retain). Infer is not safe for concurrent use on the
+// same model — hand each goroutine its own CloneShared copy, or use the
+// internal/infer engine, which does so automatically.
 func (m *Model) Infer(x *tensor.Float) *tensor.Float {
 	for _, l := range m.Layers {
 		x = l.Forward(x)
@@ -53,6 +60,27 @@ func (m *Model) Infer(x *tensor.Float) *tensor.Float {
 
 // Predict returns the argmax class of the logits.
 func (m *Model) Predict(x *tensor.Float) int { return m.Infer(x).ArgMax() }
+
+// CloneShared returns a copy of the model whose layers share the
+// (inference-immutable) weight storage with m but own fresh scratch
+// buffers, so the copy can run Infer concurrently with m. Layer types
+// outside this package are reused as-is and must be stateless.
+func (m *Model) CloneShared() *Model {
+	c := &Model{
+		ModelName:  m.ModelName,
+		InputShape: append([]int(nil), m.InputShape...),
+		Layers:     make([]Layer, len(m.Layers)),
+		Classes:    m.Classes,
+	}
+	for i, l := range m.Layers {
+		if sc, ok := l.(sharedCloner); ok {
+			c.Layers[i] = sc.cloneShared()
+		} else {
+			c.Layers[i] = l
+		}
+	}
+	return c
+}
 
 // BinaryWorkloads collects the XNOR+Popcount workload of every
 // binarized layer, in execution order. This is the input to the

@@ -16,6 +16,7 @@ import (
 	"einsteinbarrier/internal/compiler"
 	"einsteinbarrier/internal/energy"
 	"einsteinbarrier/internal/gpu"
+	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/sim"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	GPU gpu.Model
 	// Seed synthesizes the zoo weights.
 	Seed int64
+	// Workers bounds the compile+simulate fan-out: every network×design
+	// pair is an independent job run on a worker pool. 0 (the default)
+	// means one worker per available CPU; 1 forces the serial path. The
+	// report is bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the calibrated evaluation defaults.
@@ -74,7 +80,11 @@ type Report struct {
 	Networks []NetworkResult
 }
 
-// Run executes the full evaluation.
+// Run executes the full evaluation. Every network×design pair is
+// compiled and simulated as an independent job on a worker pool of
+// cfg.Workers goroutines (see Config.Workers); both the compiler and
+// the simulator are deterministic pure functions of their inputs, so
+// the report is bit-identical to the serial (Workers = 1) path.
 func Run(cfg Config) (*Report, error) {
 	if err := cfg.GPU.Validate(); err != nil {
 		return nil, err
@@ -87,25 +97,39 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Config: cfg}
-	for _, m := range models {
-		results, err := sim.RunModelOnDesigns(simulator, func(d arch.Design) (*compiler.Compiled, error) {
-			return compiler.Compile(m, cfg.Arch, d)
-		})
+	nd := len(arch.CIMDesigns)
+	results, err := infer.Map(cfg.Workers, len(models)*nd, func(_, j int) (*sim.Result, error) {
+		m, d := models[j/nd], arch.CIMDesigns[j%nd]
+		c, err := compiler.Compile(m, cfg.Arch, d)
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", m.Name(), err)
+			return nil, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
+		}
+		r, err := simulator.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: cfg}
+	for mi, m := range models {
+		byDesign := make(map[arch.Design]*sim.Result, nd)
+		for di, d := range arch.CIMDesigns {
+			byDesign[d] = results[mi*nd+di]
 		}
 		nr := NetworkResult{
 			Network:        m.Name(),
-			LatBaseline:    results[arch.BaselineEPCM].LatencyNs,
-			LatTacit:       results[arch.TacitEPCM].LatencyNs,
-			LatEB:          results[arch.EinsteinBarrier].LatencyNs,
+			LatBaseline:    byDesign[arch.BaselineEPCM].LatencyNs,
+			LatTacit:       byDesign[arch.TacitEPCM].LatencyNs,
+			LatEB:          byDesign[arch.EinsteinBarrier].LatencyNs,
 			LatGPU:         cfg.GPU.InferenceLatencyNs(m),
-			EnergyBaseline: results[arch.BaselineEPCM].EnergyPJ(),
-			EnergyTacit:    results[arch.TacitEPCM].EnergyPJ(),
-			EnergyEB:       results[arch.EinsteinBarrier].EnergyPJ(),
+			EnergyBaseline: byDesign[arch.BaselineEPCM].EnergyPJ(),
+			EnergyTacit:    byDesign[arch.TacitEPCM].EnergyPJ(),
+			EnergyEB:       byDesign[arch.EinsteinBarrier].EnergyPJ(),
 			EnergyGPU:      cfg.GPU.InferenceEnergyPJ(m),
-			Results:        results,
+			Results:        byDesign,
 		}
 		rep.Networks = append(rep.Networks, nr)
 	}

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"testing"
+
+	"einsteinbarrier/internal/arch"
+)
+
+// TestRunParallelBitIdenticalToSerial pins the engine guarantee: the
+// worker-pool evaluation must produce exactly the same report — every
+// latency, every energy term, bit for bit — as the serial path under
+// the same seed.
+func TestRunParallelBitIdenticalToSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		cfg.Workers = workers
+		parallel, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel.Networks) != len(serial.Networks) {
+			t.Fatalf("workers=%d: %d networks, want %d",
+				workers, len(parallel.Networks), len(serial.Networks))
+		}
+		for i, s := range serial.Networks {
+			p := parallel.Networks[i]
+			if p.Network != s.Network {
+				t.Fatalf("workers=%d: network order changed: %s != %s", workers, p.Network, s.Network)
+			}
+			pairs := []struct {
+				what string
+				a, b float64
+			}{
+				{"LatBaseline", p.LatBaseline, s.LatBaseline},
+				{"LatTacit", p.LatTacit, s.LatTacit},
+				{"LatEB", p.LatEB, s.LatEB},
+				{"LatGPU", p.LatGPU, s.LatGPU},
+				{"EnergyBaseline", p.EnergyBaseline, s.EnergyBaseline},
+				{"EnergyTacit", p.EnergyTacit, s.EnergyTacit},
+				{"EnergyEB", p.EnergyEB, s.EnergyEB},
+				{"EnergyGPU", p.EnergyGPU, s.EnergyGPU},
+			}
+			for _, pr := range pairs {
+				if pr.a != pr.b {
+					t.Errorf("workers=%d %s %s: parallel %v != serial %v",
+						workers, s.Network, pr.what, pr.a, pr.b)
+				}
+			}
+			for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+				sr, pr := s.Results[d], p.Results[d]
+				if sr.LatencyNs != pr.LatencyNs || sr.EnergyPJ() != pr.EnergyPJ() ||
+					sr.Counters != pr.Counters {
+					t.Errorf("workers=%d %s %v: drill-down result diverged", workers, s.Network, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package infer is the parallel batched inference engine: a worker
+// pool that fans independent work items out over N goroutines with
+// deterministic, index-ordered results, and an Engine that runs BNN
+// reference inference over batches using one scratch-carrying model
+// clone per worker (bnn.Model.CloneShared), so the hot loop stays
+// allocation-free inside each worker.
+//
+// Everything executed through this package is pure integer/float math
+// with no cross-item state, so parallel results are bit-identical to
+// serial execution — the equivalence tests in this package and in
+// internal/eval pin that down.
+package infer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/tensor"
+)
+
+// Workers normalizes a worker-count setting: values < 1 mean "one per
+// available CPU", and the count is clamped to n when n is smaller.
+func Workers(workers, n int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(worker, i) for i in [0, n) on up to `workers` goroutines
+// (< 1 means one per CPU) and returns the results in index order,
+// regardless of scheduling. The worker id is in [0, Workers(workers,
+// n)) and is stable for the duration of the call, so fn can index
+// per-worker scratch state. If any call fails, the error from the
+// lowest failing index is returned (deterministically) and remaining
+// items may be skipped.
+func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Workers(workers, n)
+
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		firstI = -1
+		firstE error
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstI == -1 || i < firstI {
+			firstI, firstE = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				// Check the failure flag BEFORE drawing an index: a drawn
+				// index always executes, so the monotonically increasing
+				// counter guarantees the lowest failing index is always
+				// attempted and recorded, keeping the returned error
+				// deterministic under any scheduling.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(w, i)
+				if err != nil {
+					record(i, err)
+					return
+				}
+				out[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	return out, nil
+}
+
+// Engine runs batched reference inference for one BNN model across a
+// fixed-size worker pool. Each worker lazily acquires a CloneShared
+// copy of the model on first use (so small batches never pay for
+// unused clones), and per-inference work reuses that worker's scratch
+// buffers, so the batch loop performs no steady-state allocations
+// beyond the result slice. The engine never touches the model passed
+// to New, so the caller may keep using it concurrently; batch calls on
+// one Engine are serialized internally, so the Engine itself is also
+// safe for concurrent use (concurrent batches queue rather than
+// overlap — use one Engine per caller for overlap).
+type Engine struct {
+	workers int
+	proto   *bnn.Model
+	mu      sync.Mutex // serializes batches; models[w] is per-worker scratch
+	models  []*bnn.Model
+}
+
+// New builds an engine with the given worker count (< 1 means one per
+// available CPU).
+func New(m *bnn.Model, workers int) *Engine {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, proto: m, models: make([]*bnn.Model, workers)}
+}
+
+// WorkerCount returns the size of the pool.
+func (e *Engine) WorkerCount() int { return e.workers }
+
+// model returns worker w's clone, creating it on first use. Only
+// worker w touches index w during a batch, and batches are serialized,
+// so no further synchronization is needed.
+func (e *Engine) model(w int) *bnn.Model {
+	if e.models[w] == nil {
+		e.models[w] = e.proto.CloneShared()
+	}
+	return e.models[w]
+}
+
+// InferBatch runs the forward pass for every input and returns the
+// logits in input order. Each result is a fresh tensor (cloned out of
+// the worker's scratch), safe to retain.
+func (e *Engine) InferBatch(xs []*tensor.Float) []*tensor.Float {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out, _ := Map(e.workers, len(xs), func(w, i int) (*tensor.Float, error) {
+		return e.model(w).Infer(xs[i]).Clone(), nil
+	})
+	return out
+}
+
+// PredictBatch returns the argmax class for every input, in input
+// order.
+func (e *Engine) PredictBatch(xs []*tensor.Float) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out, _ := Map(e.workers, len(xs), func(w, i int) (int, error) {
+		return e.model(w).Predict(xs[i]), nil
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/tensor"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		out, err := Map(workers, 50, func(_, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := Map(4, 0, func(_, i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapReportsLowestFailingIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(4, 100, func(_, i int) (int, error) {
+		if i == 13 || i == 77 {
+			return 0, fmt.Errorf("item %d: %w", i, sentinel)
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// Index 13 fails before 77 is reached with any worker count, and
+	// Map keeps the lowest failing index even when both fire.
+	if err.Error() != "item 13: boom" {
+		t.Fatalf("err = %q, want the lowest failing index", err)
+	}
+}
+
+func TestMapWorkerIDsAreInRange(t *testing.T) {
+	var bad atomic.Int64
+	w := Workers(3, 100)
+	_, err := Map(3, 100, func(worker, _ int) (struct{}, error) {
+		if worker < 0 || worker >= w {
+			bad.Add(1)
+		}
+		return struct{}{}, nil
+	})
+	if err != nil || bad.Load() != 0 {
+		t.Fatalf("bad worker ids: %d (err %v)", bad.Load(), err)
+	}
+}
+
+// TestEngineMatchesSerialInference is the bit-identity test: the
+// parallel engine must reproduce serial Model.Infer exactly, for both
+// MLP and CNN workloads, at several worker counts, in input order.
+func TestEngineMatchesSerialInference(t *testing.T) {
+	for _, name := range []string{"MLP-S", "CNN-S"} {
+		m, err := bnn.NewModel(name, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		xs := make([]*tensor.Float, 24)
+		for i := range xs {
+			xs[i] = tensor.NewFloat(m.InputShape...)
+			for j := range xs[i].Data() {
+				xs[i].Data()[j] = rng.NormFloat64()
+			}
+		}
+		serial := m.CloneShared()
+		want := make([][]float64, len(xs))
+		wantCls := make([]int, len(xs))
+		for i, x := range xs {
+			want[i] = append([]float64(nil), serial.Infer(x).Data()...)
+			wantCls[i] = serial.Predict(x)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			e := New(m, workers)
+			got := e.InferBatch(xs)
+			for i := range xs {
+				if len(got[i].Data()) != len(want[i]) {
+					t.Fatalf("%s w=%d input %d: logit count mismatch", name, workers, i)
+				}
+				for j := range want[i] {
+					if got[i].Data()[j] != want[i][j] {
+						t.Fatalf("%s w=%d input %d logit %d: parallel %v != serial %v",
+							name, workers, i, j, got[i].Data()[j], want[i][j])
+					}
+				}
+			}
+			for i, c := range e.PredictBatch(xs) {
+				if c != wantCls[i] {
+					t.Fatalf("%s w=%d input %d: class %d != %d", name, workers, i, c, wantCls[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineResultsAreIndependent checks InferBatch results are cloned
+// out of worker scratch (mutating one does not affect another).
+func TestEngineResultsAreIndependent(t *testing.T) {
+	m, err := bnn.NewModel("MLP-S", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]*tensor.Float, 4)
+	for i := range xs {
+		xs[i] = tensor.NewFloat(m.InputShape...)
+		for j := range xs[i].Data() {
+			xs[i].Data()[j] = float64(i + j)
+		}
+	}
+	got := New(m, 1).InferBatch(xs) // one worker ⇒ shared scratch per call
+	for i := 1; i < len(got); i++ {
+		if &got[0].Data()[0] == &got[i].Data()[0] {
+			t.Fatal("InferBatch returned aliased result tensors")
+		}
+	}
+}
+
+func TestEngineDoesNotTouchOriginalModel(t *testing.T) {
+	m, err := bnn.NewModel("MLP-S", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewFloat(m.InputShape...)
+	for j := range x.Data() {
+		x.Data()[j] = 0.5
+	}
+	before := append([]float64(nil), m.Infer(x).Data()...)
+	y := m.Infer(x) // m's scratch now holds the logits for x
+	e := New(m, 4)
+	e.PredictBatch([]*tensor.Float{x, x, x, x})
+	for j, v := range y.Data() {
+		if v != before[j] {
+			t.Fatal("engine mutated the original model's scratch")
+		}
+	}
+}

@@ -197,8 +197,8 @@ func (s *Simulator) Run(c *compiler.Compiled) (*Result, error) {
 // RunModelOnDesigns compiles and simulates a model on all three CIM
 // designs, returning results keyed by design.
 func RunModelOnDesigns(s *Simulator, mcompile func(arch.Design) (*compiler.Compiled, error)) (map[arch.Design]*Result, error) {
-	out := make(map[arch.Design]*Result, 3)
-	for _, d := range []arch.Design{arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier} {
+	out := make(map[arch.Design]*Result, len(arch.CIMDesigns))
+	for _, d := range arch.CIMDesigns {
 		c, err := mcompile(d)
 		if err != nil {
 			return nil, err

@@ -55,6 +55,25 @@ func (t *Float) Shape() []int {
 // Size returns the total element count.
 func (t *Float) Size() int { return len(t.data) }
 
+// Dims returns the rank of the tensor without copying the shape.
+func (t *Float) Dims() int { return len(t.shape) }
+
+// Dim returns the size of axis i without copying the shape.
+func (t *Float) Dim(i int) int { return t.shape[i] }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Float) SameShape(u *Float) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if u.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
 // Data exposes the backing slice (row-major).
 func (t *Float) Data() []float64 { return t.data }
 
@@ -98,6 +117,28 @@ func (t *Float) Reshape(shape ...int) *Float {
 	s := make([]int, len(shape))
 	copy(s, shape)
 	return &Float{shape: s, data: t.data}
+}
+
+// Alias points t at src's backing data with the given shape, without
+// copying; the element count must match src. It reuses t's shape slice
+// when capacity allows, so steady-state calls allocate nothing. The
+// zero value of Float is a valid Alias destination.
+func (t *Float) Alias(src *Float, shape ...int) *Float {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(src.data) {
+		panic(fmt.Sprintf("tensor: cannot alias %d elements as %v", len(src.data), shape))
+	}
+	if cap(t.shape) >= len(shape) {
+		t.shape = t.shape[:len(shape)]
+		copy(t.shape, shape)
+	} else {
+		t.shape = append([]int(nil), shape...)
+	}
+	t.data = src.data
+	return t
 }
 
 // Fill sets every element to v.
@@ -160,32 +201,49 @@ func (g ConvGeom) Positions() int { return g.OutH() * g.OutW() }
 
 // Im2Col extracts all patches of x (shape C×H×W) as a Positions ×
 // PatchLen row-major matrix. Padding reads as zero.
-func (g ConvGeom) Im2Col(x *Float) *Float {
+func (g ConvGeom) Im2Col(x *Float) *Float { return g.Im2ColInto(x, nil) }
+
+// Im2ColInto is the allocation-free form of Im2Col: it writes the patch
+// matrix into dst, which must hold Positions·PatchLen elements (nil
+// allocates a fresh Positions × PatchLen tensor).
+func (g ConvGeom) Im2ColInto(x, dst *Float) *Float {
 	if len(x.shape) != 3 || x.shape[0] != g.InC || x.shape[1] != g.InH || x.shape[2] != g.InW {
 		panic(fmt.Sprintf("tensor: im2col input %v does not match geom %dx%dx%d",
 			x.shape, g.InC, g.InH, g.InW))
 	}
-	out := NewFloat(g.Positions(), g.PatchLen())
-	pos := 0
+	if dst == nil {
+		dst = NewFloat(g.Positions(), g.PatchLen())
+	} else if dst.Size() != g.Positions()*g.PatchLen() {
+		panic(fmt.Sprintf("tensor: im2col dst has %d elements, want %d",
+			dst.Size(), g.Positions()*g.PatchLen()))
+	}
+	xd, od := x.data, dst.data
+	i := 0
 	for oh := 0; oh < g.OutH(); oh++ {
 		for ow := 0; ow < g.OutW(); ow++ {
-			col := 0
 			for c := 0; c < g.InC; c++ {
 				for kh := 0; kh < g.KH; kh++ {
-					for kw := 0; kw < g.KW; kw++ {
-						ih := oh*g.StrideH + kh - g.PadH
-						iw := ow*g.StrideW + kw - g.PadW
-						v := 0.0
-						if ih >= 0 && ih < g.InH && iw >= 0 && iw < g.InW {
-							v = x.At(c, ih, iw)
+					ih := oh*g.StrideH + kh - g.PadH
+					if ih < 0 || ih >= g.InH {
+						for kw := 0; kw < g.KW; kw++ {
+							od[i] = 0
+							i++
 						}
-						out.Set(v, pos, col)
-						col++
+						continue
+					}
+					rowBase := (c*g.InH + ih) * g.InW
+					for kw := 0; kw < g.KW; kw++ {
+						iw := ow*g.StrideW + kw - g.PadW
+						if iw >= 0 && iw < g.InW {
+							od[i] = xd[rowBase+iw]
+						} else {
+							od[i] = 0
+						}
+						i++
 					}
 				}
 			}
-			pos++
 		}
 	}
-	return out
+	return dst
 }
