@@ -161,9 +161,11 @@ func BenchmarkStep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			out := make([]int, mapped.Plan().N)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := mapped.Execute(x); err != nil {
+				if _, err := mapped.ExecuteInto(x, out); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -217,10 +219,15 @@ func BenchmarkWDM(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			dst := make([][]int, k)
+			for i := range dst {
+				dst[i] = make([]int, cfg.Cols)
+			}
 			arr.ResetStats()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := arr.MMM(inputs); err != nil {
+				if _, err := arr.MMMInto(inputs, dst); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -390,9 +397,11 @@ func BenchmarkCrossbarVMM(b *testing.B) {
 				x.Set(i)
 			}
 		}
+		dst := make([]int, n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := arr.VMM(x); err != nil {
+				if _, err := arr.VMMInto(x, dst); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,115 @@
+package bitops
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file holds the word-wise bit-range primitives behind the analog
+// drive construction: TacitMap applies [X ; ¬X] to the crossbar rows
+// and CustBinaryMap copies input slices onto bit lines, both of which
+// reduce to "copy (possibly complemented) bits [from,to) of src into
+// dst at an arbitrary offset". The loops below move 64 bits per step
+// with funnel shifts instead of per-bit Get/Set.
+
+// window64 returns 64 bits of words starting at bit offset off (bits
+// past the end of the slice read as zero).
+func window64(words []uint64, off int) uint64 {
+	wi, sh := off/wordBits, uint(off)%wordBits
+	w := words[wi] >> sh
+	if sh != 0 && wi+1 < len(words) {
+		w |= words[wi+1] << (wordBits - sh)
+	}
+	return w
+}
+
+func (v *Vector) checkRange(from, to int) {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitops: bad range [%d,%d) of %d", from, to, v.n))
+	}
+}
+
+// Blit copies bits [from,to) of src into v starting at bit dstOff,
+// word-wise. Bits of v outside [dstOff, dstOff+to-from) are unchanged.
+// src must not alias v over an overlapping range.
+func (v *Vector) Blit(dstOff int, src *Vector, from, to int) {
+	v.blit(dstOff, src, from, to, false)
+}
+
+// BlitNot is Blit with the copied bits complemented — the ¬X half of
+// the TacitMap drive pair in one pass.
+func (v *Vector) BlitNot(dstOff int, src *Vector, from, to int) {
+	v.blit(dstOff, src, from, to, true)
+}
+
+func (v *Vector) blit(dstOff int, src *Vector, from, to int, invert bool) {
+	src.checkRange(from, to)
+	n := to - from
+	if dstOff < 0 || dstOff+n > v.n {
+		panic(fmt.Sprintf("bitops: blit of %d bits at %d overflows %d", n, dstOff, v.n))
+	}
+	pos := 0
+	for pos < n {
+		dBit := dstOff + pos
+		di, dsh := dBit/wordBits, uint(dBit)%wordBits
+		chunk := wordBits - int(dsh)
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		mask := ^uint64(0)
+		if chunk < wordBits {
+			mask = (1 << uint(chunk)) - 1
+		}
+		w := window64(src.words, from+pos)
+		if invert {
+			w = ^w
+		}
+		w &= mask
+		v.words[di] = v.words[di]&^(mask<<dsh) | w<<dsh
+		pos += chunk
+	}
+}
+
+// SliceInto extracts the sub-vector [from,to) of v into dst (length
+// to−from; nil allocates), word-wise. This is the allocation-free form
+// of Slice.
+func (v *Vector) SliceInto(from, to int, dst *Vector) *Vector {
+	v.checkRange(from, to)
+	if dst == nil {
+		dst = NewVector(to - from)
+	} else if dst.n != to-from {
+		panic(fmt.Sprintf("bitops: SliceInto dst length %d, want %d", dst.n, to-from))
+	}
+	dst.Blit(0, v, from, to)
+	return dst
+}
+
+// PopcountRange returns the number of set bits of v in [from,to),
+// counted word-wise with edge masks.
+func (v *Vector) PopcountRange(from, to int) int {
+	v.checkRange(from, to)
+	if from == to {
+		return 0
+	}
+	wi, wj := from/wordBits, (to-1)/wordBits
+	lo := ^uint64(0) << (uint(from) % wordBits)
+	hi := ^uint64(0) >> (wordBits - 1 - uint(to-1)%wordBits)
+	if wi == wj {
+		return bits.OnesCount64(v.words[wi] & lo & hi)
+	}
+	c := bits.OnesCount64(v.words[wi] & lo)
+	for k := wi + 1; k < wj; k++ {
+		c += bits.OnesCount64(v.words[k])
+	}
+	return c + bits.OnesCount64(v.words[wj]&hi)
+}
+
+// CopyFrom overwrites m with the bits of other, which must have the
+// same dimensions. One word-level copy, no per-bit loop.
+func (m *Matrix) CopyFrom(other *Matrix) {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic(fmt.Sprintf("bitops: CopyFrom %dx%d into %dx%d",
+			other.rows, other.cols, m.rows, m.cols))
+	}
+	copy(m.words, other.words)
+}

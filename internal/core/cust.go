@@ -9,6 +9,8 @@ import (
 
 // CustMapped is a BNN layer programmed onto 2T2R differential arrays
 // under the CustBinaryMap layout (the SotA baseline, Hirtzlin et al.).
+// Carries drive/sense scratch like TacitMapped; not safe for
+// concurrent use.
 type CustMapped struct {
 	plan    CustPlan
 	cfg     crossbar.DiffConfig
@@ -18,6 +20,9 @@ type CustMapped struct {
 	// tileRows[rt] and tileCols[ct] are the occupied extents.
 	tileRows []int
 	tileCols []int
+	// Reusable execution scratch.
+	drive *bitops.Vector
+	sense *bitops.Vector
 }
 
 // MapCust programs the n×m weight matrix onto differential arrays:
@@ -38,6 +43,8 @@ func MapCust(weights *bitops.Matrix, cfg crossbar.DiffConfig) (*CustMapped, erro
 		arrays:   make([][]*crossbar.DiffArray, plan.RowTiles),
 		tileRows: make([]int, plan.RowTiles),
 		tileCols: make([]int, plan.ColTiles),
+		drive:    bitops.NewVector(cfg.Cols),
+		sense:    bitops.NewVector(cfg.Cols),
 	}
 	for ct := 0; ct < plan.ColTiles; ct++ {
 		bits := plan.LogicalCols
@@ -61,12 +68,10 @@ func MapCust(weights *bitops.Matrix, cfg crossbar.DiffConfig) (*CustMapped, erro
 				return nil, err
 			}
 			layout := bitops.NewMatrix(cfg.Rows, cfg.Cols)
+			lo := ct * plan.LogicalCols
 			for r := 0; r < rows; r++ {
-				w := weights.Row(rt*cfg.Rows + r)
-				lo := ct * plan.LogicalCols
-				for b := 0; b < c.tileCols[ct]; b++ {
-					layout.Set(r, b, w.Get(lo+b))
-				}
+				// Word-wise copy of the weight slice into the tile row.
+				layout.Row(r).Blit(0, weights.Row(rt*cfg.Rows+r), lo, lo+c.tileCols[ct])
 			}
 			if err := arr.Program(layout); err != nil {
 				return nil, err
@@ -87,35 +92,38 @@ func (c *CustMapped) Weights() *bitops.Matrix { return c.weights.Clone() }
 // weight vector, one word-line activation per column tile, PCSA sensing
 // and digital popcount, with partial sums merged across column tiles.
 func (c *CustMapped) Execute(x *bitops.Vector) ([]int, error) {
+	return c.ExecuteInto(x, nil)
+}
+
+// ExecuteInto is the allocation-free form of Execute: the popcounts are
+// written into out (length n; nil allocates). Drive and sense vectors
+// live in CustMapped-owned scratch.
+func (c *CustMapped) ExecuteInto(x *bitops.Vector, out []int) ([]int, error) {
 	if x.Len() != c.plan.M {
 		return nil, fmt.Errorf("core: input length %d != m %d", x.Len(), c.plan.M)
 	}
-	out := make([]int, c.plan.N)
+	if out == nil {
+		out = make([]int, c.plan.N)
+	} else if len(out) != c.plan.N {
+		return nil, fmt.Errorf("core: ExecuteInto dst length %d != n %d", len(out), c.plan.N)
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	for rt := 0; rt < c.plan.RowTiles; rt++ {
 		for ct := 0; ct < c.plan.ColTiles; ct++ {
 			lo := ct * c.plan.LogicalCols
-			slice := x.Slice(lo, lo+c.tileCols[ct])
 			// Pad the drive to the physical column count; padding columns
 			// hold (0, 1) pairs which sense as XNOR(0, 0) = 1, so we only
 			// count the occupied prefix.
-			drive := bitops.NewVector(c.cfg.Cols)
-			for i := 0; i < slice.Len(); i++ {
-				if slice.Get(i) {
-					drive.Set(i)
-				}
-			}
+			c.drive.Zero()
+			c.drive.Blit(0, x, lo, lo+c.tileCols[ct])
 			for r := 0; r < c.tileRows[rt]; r++ {
-				bits, err := c.arrays[rt][ct].ReadRowXnor(r, drive)
+				bits, err := c.arrays[rt][ct].ReadRowXnorInto(r, c.drive, c.sense)
 				if err != nil {
 					return nil, err
 				}
-				pc := 0
-				for b := 0; b < c.tileCols[ct]; b++ {
-					if bits.Get(b) {
-						pc++
-					}
-				}
-				out[rt*c.cfg.Rows+r] += pc
+				out[rt*c.cfg.Rows+r] += bits.PopcountRange(0, c.tileCols[ct])
 			}
 		}
 	}

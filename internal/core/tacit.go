@@ -10,14 +10,24 @@ import (
 
 // TacitMapped is a BNN layer programmed onto crossbar arrays under the
 // TacitMap layout, ready to execute XNOR+Popcount workloads.
+//
+// A TacitMapped carries per-tile drive and partial-sum scratch, so the
+// Into execution forms (ExecuteInto / ExecuteMMMInto) perform zero
+// steady-state heap allocations. Consequently a TacitMapped is not safe
+// for concurrent use.
 type TacitMapped struct {
 	plan    TacitPlan
 	cfg     crossbar.Config
 	weights *bitops.Matrix // n×m logical weights, kept for reference
 	// arrays[rowTile][colTile]
 	arrays [][]*crossbar.Array
-	// inputs[rowTile] caches the per-tile [x ; ¬x] drive vector length.
+	// tileBits[rowTile] is the number of weight bits the tile holds.
 	tileBits []int
+	// Reusable execution scratch.
+	drive  *bitops.Vector   // [x_slice ; ¬x_slice ; 0…] row drive
+	counts []int            // per-tile VMM output
+	drives []*bitops.Vector // per-wavelength drives (MMM)
+	mmmCnt [][]int          // per-wavelength per-tile MMM output
 }
 
 // MapTacit programs the n×m weight matrix (one weight vector per row of
@@ -38,7 +48,14 @@ func MapTacit(weights *bitops.Matrix, cfg crossbar.Config) (*TacitMapped, error)
 		weights:  weights.Clone(),
 		arrays:   make([][]*crossbar.Array, plan.RowTiles),
 		tileBits: make([]int, plan.RowTiles),
+		drive:    bitops.NewVector(cfg.Rows),
+		counts:   make([]int, cfg.Cols),
 	}
+	// Each tile layout is assembled transposed (one matrix row per
+	// crossbar column) so the [w ; ¬w] pairs are built with word-wise
+	// blits off the weight rows, then flipped into row-major crossbar
+	// orientation with the blocked Transpose — no per-bit Get/Set.
+	colMajor := bitops.NewMatrix(cfg.Cols, cfg.Rows)
 	for rt := 0; rt < plan.RowTiles; rt++ {
 		bits := plan.BitsPerTile
 		if rt == plan.RowTiles-1 {
@@ -46,6 +63,7 @@ func MapTacit(weights *bitops.Matrix, cfg crossbar.Config) (*TacitMapped, error)
 		}
 		t.tileBits[rt] = bits
 		t.arrays[rt] = make([]*crossbar.Array, plan.ColTiles)
+		lo, hi := rt*plan.BitsPerTile, rt*plan.BitsPerTile+bits
 		for ct := 0; ct < plan.ColTiles; ct++ {
 			acfg := cfg
 			acfg.Seed = cfg.Seed + int64(rt*plan.ColTiles+ct+1)
@@ -53,20 +71,18 @@ func MapTacit(weights *bitops.Matrix, cfg crossbar.Config) (*TacitMapped, error)
 			if err != nil {
 				return nil, err
 			}
-			layout := bitops.NewMatrix(cfg.Rows, cfg.Cols)
-			lo, hi := rt*plan.BitsPerTile, rt*plan.BitsPerTile+bits
 			for j := 0; j < cfg.Cols; j++ {
+				col := colMajor.Row(j) // view into the transposed layout
+				col.Zero()
 				w := ct*cfg.Cols + j
 				if w >= plan.N {
-					break
+					continue
 				}
-				slice := weights.Row(w).Slice(lo, hi)
-				col := bitops.Concat(slice, slice.Not())
-				for r := 0; r < col.Len(); r++ {
-					layout.Set(r, j, col.Get(r))
-				}
+				wrow := weights.Row(w)
+				col.Blit(0, wrow, lo, hi)
+				col.BlitNot(bits, wrow, lo, hi)
 			}
-			if err := arr.Program(layout); err != nil {
+			if err := arr.Program(colMajor.Transpose()); err != nil {
 				return nil, err
 			}
 			t.arrays[rt][ct] = arr
@@ -81,35 +97,44 @@ func (t *TacitMapped) Plan() TacitPlan { return t.plan }
 // Weights returns a clone of the logical weight matrix.
 func (t *TacitMapped) Weights() *bitops.Matrix { return t.weights.Clone() }
 
-// driveVector builds the [x_slice ; ¬x_slice] row drive for tile rt,
-// zero-padded to the physical row count (undriven rows contribute no
-// signal, matching unused cells programmed to 0).
-func (t *TacitMapped) driveVector(x *bitops.Vector, rt int) *bitops.Vector {
+// driveInto builds the [x_slice ; ¬x_slice] row drive for tile rt into
+// drive, zero-padded to the physical row count (undriven rows
+// contribute no signal, matching unused cells programmed to 0). Both
+// halves are written word-wise.
+func (t *TacitMapped) driveInto(x *bitops.Vector, rt int, drive *bitops.Vector) {
 	lo := rt * t.plan.BitsPerTile
 	hi := lo + t.tileBits[rt]
-	slice := x.Slice(lo, hi)
-	pair := bitops.Concat(slice, slice.Not())
-	drive := bitops.NewVector(t.cfg.Rows)
-	for i := 0; i < pair.Len(); i++ {
-		if pair.Get(i) {
-			drive.Set(i)
-		}
-	}
-	return drive
+	drive.Zero()
+	drive.Blit(0, x, lo, hi)
+	drive.BlitNot(hi-lo, x, lo, hi)
 }
 
 // Execute performs one full XNOR+Popcount pass for input x (length m):
 // one VMM per tile plus the digital partial-sum adds, returning
 // Popcount(XNOR(x, W_j)) for every weight vector j.
 func (t *TacitMapped) Execute(x *bitops.Vector) ([]int, error) {
+	return t.ExecuteInto(x, nil)
+}
+
+// ExecuteInto is the allocation-free form of Execute: the popcounts are
+// written into out (length n; nil allocates). All intermediate drive
+// vectors and per-tile counts live in TacitMapped-owned scratch.
+func (t *TacitMapped) ExecuteInto(x *bitops.Vector, out []int) ([]int, error) {
 	if x.Len() != t.plan.M {
 		return nil, fmt.Errorf("core: input length %d != m %d", x.Len(), t.plan.M)
 	}
-	out := make([]int, t.plan.N)
+	if out == nil {
+		out = make([]int, t.plan.N)
+	} else if len(out) != t.plan.N {
+		return nil, fmt.Errorf("core: ExecuteInto dst length %d != n %d", len(out), t.plan.N)
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	for rt := 0; rt < t.plan.RowTiles; rt++ {
-		drive := t.driveVector(x, rt)
+		t.driveInto(x, rt, t.drive)
 		for ct := 0; ct < t.plan.ColTiles; ct++ {
-			counts, err := t.arrays[rt][ct].VMM(drive)
+			counts, err := t.arrays[rt][ct].VMMInto(t.drive, t.counts)
 			if err != nil {
 				return nil, err
 			}
@@ -126,6 +151,14 @@ func (t *TacitMapped) Execute(x *bitops.Vector) ([]int, error) {
 // activation per tile via WDM. Only valid on oPCM arrays. Returns
 // popcounts[k][j].
 func (t *TacitMapped) ExecuteMMM(xs []*bitops.Vector) ([][]int, error) {
+	return t.ExecuteMMMInto(xs, nil)
+}
+
+// ExecuteMMMInto is the allocation-free form of ExecuteMMM: out must be
+// nil (fully allocated here) or hold one row of length n per input (nil
+// rows are allocated). Drive vectors and per-tile count rows live in
+// TacitMapped-owned scratch that grows to the largest K seen.
+func (t *TacitMapped) ExecuteMMMInto(xs []*bitops.Vector, out [][]int) ([][]int, error) {
 	if t.cfg.Tech != device.OPCM {
 		return nil, fmt.Errorf("core: ExecuteMMM requires oPCM arrays, have %v", t.cfg.Tech)
 	}
@@ -137,24 +170,41 @@ func (t *TacitMapped) ExecuteMMM(xs []*bitops.Vector) ([][]int, error) {
 			return nil, fmt.Errorf("core: input %d length %d != m %d", i, x.Len(), t.plan.M)
 		}
 	}
-	out := make([][]int, len(xs))
-	for k := range out {
-		out[k] = make([]int, t.plan.N)
+	k := len(xs)
+	if out == nil {
+		out = make([][]int, k)
+	} else if len(out) != k {
+		return nil, fmt.Errorf("core: ExecuteMMMInto dst has %d rows for %d inputs", len(out), k)
 	}
-	drives := make([]*bitops.Vector, len(xs))
+	for i := range out {
+		if out[i] == nil {
+			out[i] = make([]int, t.plan.N)
+		} else if len(out[i]) != t.plan.N {
+			return nil, fmt.Errorf("core: ExecuteMMMInto dst row %d length %d != n %d", i, len(out[i]), t.plan.N)
+		}
+		for j := range out[i] {
+			out[i][j] = 0
+		}
+	}
+	for len(t.drives) < k {
+		t.drives = append(t.drives, bitops.NewVector(t.cfg.Rows))
+		t.mmmCnt = append(t.mmmCnt, make([]int, t.cfg.Cols))
+	}
+	drives := t.drives[:k]
 	for rt := 0; rt < t.plan.RowTiles; rt++ {
-		for k, x := range xs {
-			drives[k] = t.driveVector(x, rt)
+		for i, x := range xs {
+			t.driveInto(x, rt, drives[i])
 		}
 		for ct := 0; ct < t.plan.ColTiles; ct++ {
-			counts, err := t.arrays[rt][ct].MMM(drives)
+			counts, err := t.arrays[rt][ct].MMMInto(drives, t.mmmCnt[:k])
 			if err != nil {
 				return nil, err
 			}
 			base := ct * t.cfg.Cols
-			for k := range xs {
+			for i := range xs {
+				row := counts[i]
 				for j := 0; j < t.cfg.Cols && base+j < t.plan.N; j++ {
-					out[k][base+j] += counts[k][j]
+					out[i][base+j] += row[j]
 				}
 			}
 		}

@@ -19,16 +19,31 @@
 // — programming variability, read noise, drift, WDM crosstalk — are
 // injected at the device level, so decoding errors propagate to the
 // returned counts exactly as they would in hardware.
+//
+// # Storage layout
+//
+// An array does not hold per-cell objects. Each array owns flat
+// struct-of-arrays planes — contiguous []float64 slices indexed
+// r*Cols+c — holding the as-programmed conductance/transmittance, the
+// per-cell age (ePCM drift state), and the deterministic per-read
+// signal. The device physics live in the pure functions on
+// device.EPCMParams / device.OPCMParams; the hot loops here stream the
+// signal plane row-major over the driven-row set, which the packed
+// input vector supplies word-wise (trailing-zero scan). See DESIGN.md
+// "Flat analog storage" for the layout and the RNG-ordering contract.
 package crossbar
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"einsteinbarrier/internal/bitops"
 	"einsteinbarrier/internal/device"
 )
+
+const wordBits = 64
 
 // Config describes a 1T1R crossbar array.
 type Config struct {
@@ -111,16 +126,45 @@ func (s *Stats) Add(other Stats) {
 }
 
 // Array is a programmed 1T1R crossbar.
+//
+// Cell state is stored as flat per-array planes (struct-of-arrays,
+// indexed r*cols+c) rather than per-cell heap objects:
+//
+//	prog — as-programmed conductance (ePCM, siemens) or transmittance
+//	       (oPCM, dimensionless), programming variability applied;
+//	age  — seconds since the cell was last programmed (ePCM only);
+//	sig  — the deterministic per-read signal in amperes: the drifted
+//	       read current G·V for ePCM, the photocurrent P·R·t0 for oPCM.
+//
+// Drift is folded into sig when Age advances (one math.Pow per RESET
+// cell per Age call) instead of being recomputed on every read; the
+// per-read noise draws are applied on top of sig in the VMM loops.
+//
+// An Array is not safe for concurrent use: it owns a private RNG and
+// reusable accumulation scratch.
 type Array struct {
-	cfg   Config
-	rng   *rand.Rand
-	ecell [][]*device.EPCMCell
-	ocell [][]*device.OPCMCell
-	// programmed mirrors the logical bits for introspection/tests.
+	cfg        Config
+	rng        *rand.Rand
+	rows, cols int
+	prog       []float64
+	age        []float64 // nil for oPCM (no drift)
+	sig        []float64
+	// programmed mirrors the logical bits for introspection/tests;
+	// effective is programmed with stuck faults overridden — the state
+	// the cells (and the drift model) actually hold.
 	programmed *bitops.Matrix
+	effective  *bitops.Matrix
+	// stuckMask/stuckState record injected defects; reapplied after
+	// Program. nil mask = no faults.
+	stuckMask  *bitops.Matrix
+	stuckState *bitops.Matrix
+	faultCount int
 	stats      Stats
-	// faults maps (row, col) → stuck state; reapplied after Program.
-	faults map[[2]int]bool
+	// Reusable scratch for the zero-allocation execution paths.
+	acc    []float64 // per-column accumulated signal (cols)
+	mmmSig []float64 // per-wavelength signals, k*cols (grown on demand)
+	mmmTot []float64 // per-column total signal across wavelengths (allocated on first MMM)
+	mmmAct []int     // per-wavelength active-row counts (grown on demand)
 }
 
 // NewArray allocates an unprogrammed array (all cells logic 0).
@@ -128,23 +172,19 @@ func NewArray(cfg Config) (*Array, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Array{cfg: cfg}
+	a := &Array{cfg: cfg, rows: cfg.Rows, cols: cfg.Cols}
 	if !cfg.Ideal {
 		a.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	switch cfg.Tech {
-	case device.EPCM:
-		a.ecell = make([][]*device.EPCMCell, cfg.Rows)
-		for r := range a.ecell {
-			a.ecell[r] = make([]*device.EPCMCell, cfg.Cols)
-		}
-	case device.OPCM:
-		a.ocell = make([][]*device.OPCMCell, cfg.Rows)
-		for r := range a.ocell {
-			a.ocell[r] = make([]*device.OPCMCell, cfg.Cols)
-		}
+	n := cfg.Rows * cfg.Cols
+	a.prog = make([]float64, n)
+	a.sig = make([]float64, n)
+	if cfg.Tech == device.EPCM {
+		a.age = make([]float64, n)
 	}
+	a.acc = make([]float64, cfg.Cols)
 	a.programmed = bitops.NewMatrix(cfg.Rows, cfg.Cols)
+	a.effective = bitops.NewMatrix(cfg.Rows, cfg.Cols)
 	a.programAll(a.programmed) // establish defined state in every cell
 	a.stats = Stats{}          // initial programming is free (manufacture)
 	return a, nil
@@ -163,7 +203,11 @@ func (a *Array) ResetStats() { a.stats = Stats{} }
 func (a *Array) Rows() int { return a.cfg.Rows }
 func (a *Array) Cols() int { return a.cfg.Cols }
 
-// Programmed returns the logical bit matrix currently stored (clone).
+// Programmed returns the logical bit matrix currently stored. The
+// matrix is a fresh clone on every call (one rows×cols/64-word
+// allocation) so callers can mutate it freely; hot paths that only
+// need to inspect bits should hold on to one clone instead of calling
+// Programmed per step.
 func (a *Array) Programmed() *bitops.Matrix { return a.programmed.Clone() }
 
 // Program writes the given bit matrix into the array. The matrix must
@@ -175,54 +219,160 @@ func (a *Array) Program(m *bitops.Matrix) error {
 			m.Rows(), m.Cols(), a.cfg.Rows, a.cfg.Cols)
 	}
 	a.programAll(m)
-	a.programmed = m.Clone()
+	a.programmed.CopyFrom(m)
 	a.applyFaults() // defects survive reprogramming
 	return nil
 }
 
-func (a *Array) programAll(m *bitops.Matrix) {
-	for r := 0; r < a.cfg.Rows; r++ {
-		for c := 0; c < a.cfg.Cols; c++ {
-			bit := m.Get(r, c)
-			switch a.cfg.Tech {
-			case device.EPCM:
-				a.ecell[r][c] = device.NewEPCMCell(a.cfg.EPCM, bit, a.rng)
-			case device.OPCM:
-				a.ocell[r][c] = device.NewOPCMCell(a.cfg.OPCM, bit, a.rng)
-			}
-			a.stats.CellWrites++
-		}
+// programCell programs one plane slot to the given state, drawing
+// programming variability from the array RNG.
+func (a *Array) programCell(idx int, state bool) {
+	switch a.cfg.Tech {
+	case device.EPCM:
+		g := a.cfg.EPCM.ProgramConductance(state, a.rng)
+		a.prog[idx] = g
+		a.age[idx] = 0
+		a.sig[idx] = g * a.cfg.EPCM.ReadVoltage
+	case device.OPCM:
+		t0 := a.cfg.OPCM.ProgramTransmittance(state, a.rng)
+		a.prog[idx] = t0
+		a.sig[idx] = t0 * a.cfg.OPCM.InputPowerMW * 1e-3 * a.cfg.OPCM.Responsivity
 	}
 }
 
+// programAll programs every cell from the logical matrix, row-major —
+// the same per-cell RNG draw order as programming one device after
+// another, so a seeded array is bit-identical to the per-cell-object
+// implementation this package previously used.
+func (a *Array) programAll(m *bitops.Matrix) {
+	idx := 0
+	for r := 0; r < a.rows; r++ {
+		row := m.RowWords(r)
+		for c := 0; c < a.cols; c++ {
+			a.programCell(idx, row[c>>6]>>(uint(c)&63)&1 == 1)
+			idx++
+		}
+	}
+	a.effective.CopyFrom(m)
+	a.stats.CellWrites += int64(a.rows * a.cols)
+}
+
 // Age advances every cell's post-programming age (ePCM drift study).
+// The drift decay is folded into the signal plane here, once per Age
+// call, so reads stay a flat multiply-accumulate.
 func (a *Array) Age(seconds float64) {
 	if a.cfg.Tech != device.EPCM {
 		return
 	}
-	for r := range a.ecell {
-		for c := range a.ecell[r] {
-			a.ecell[r][c].Age(seconds)
+	if seconds < 0 {
+		panic("crossbar: negative ageing time")
+	}
+	v := a.cfg.EPCM.ReadVoltage
+	idx := 0
+	for r := 0; r < a.rows; r++ {
+		row := a.effective.RowWords(r)
+		for c := 0; c < a.cols; c++ {
+			a.age[idx] += seconds
+			if row[c>>6]>>(uint(c)&63)&1 == 0 { // only RESET cells drift
+				a.sig[idx] = a.prog[idx] * a.cfg.EPCM.DriftFactor(a.age[idx]) * v
+			}
+			idx++
 		}
 	}
 }
 
-// columnSignal returns the accumulated analog signal of column c for the
-// driven row set (ePCM: current in A; oPCM: photocurrent in A).
-func (a *Array) columnSignal(input *bitops.Vector, c int) float64 {
-	sum := 0.0
-	for r := 0; r < a.cfg.Rows; r++ {
-		if !input.Get(r) {
-			continue
+// accumulate streams the driven rows of the array into the per-column
+// accumulator acc (length cols, zeroed here) and returns the number of
+// active rows. The driven-row set comes word-wise off the packed input
+// (trailing-zero scan); each driven row is one contiguous row-major
+// pass over the signal plane, so per-column sums are accumulated in
+// ascending-row order — the same floating-point summation order as the
+// original column-major walk, which keeps ideal-mode outputs
+// bit-identical. Per-read noise (one draw per driven ePCM cell, up to
+// two per driven oPCM cell) is applied row-major; see DESIGN.md for
+// the RNG-ordering contract.
+func (a *Array) accumulate(input *bitops.Vector, acc []float64) int {
+	for i := range acc {
+		acc[i] = 0
+	}
+	active := 0
+	words := input.Words()
+	switch a.cfg.Tech {
+	case device.EPCM:
+		sigma := 0.0
+		if a.rng != nil {
+			sigma = a.cfg.EPCM.ReadNoiseSigma
 		}
-		switch a.cfg.Tech {
-		case device.EPCM:
-			sum += a.ecell[r][c].ReadCurrent(a.rng)
-		case device.OPCM:
-			sum += a.ocell[r][c].Photocurrent(a.rng)
+		for wi, w := range words {
+			for w != 0 {
+				r := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				active++
+				row := a.sig[r*a.cols : (r+1)*a.cols]
+				if sigma > 0 {
+					rng := a.rng
+					for c, s := range row {
+						s *= 1 + rng.NormFloat64()*sigma
+						if s < 0 {
+							s = 0
+						}
+						acc[c] += s
+					}
+				} else {
+					for c, s := range row {
+						acc[c] += s
+					}
+				}
+			}
+		}
+	case device.OPCM:
+		p := &a.cfg.OPCM
+		rin, sf := p.RelIntensityNoise, p.ShotNoiseFactor
+		if a.rng == nil || (rin == 0 && sf == 0) {
+			for wi, w := range words {
+				for w != 0 {
+					r := wi*wordBits + bits.TrailingZeros64(w)
+					w &= w - 1
+					active++
+					row := a.sig[r*a.cols : (r+1)*a.cols]
+					for c, s := range row {
+						acc[c] += s
+					}
+				}
+			}
+			break
+		}
+		// Noisy optical read: RIN on the transmittance, then √signal
+		// shot noise — device.OPCMParams.PhotocurrentFrom with the
+		// scalars hoisted out of the per-cell loop.
+		rng := a.rng
+		pr := p.InputPowerMW * 1e-3 * p.Responsivity
+		full := pr * p.THigh
+		for wi, w := range words {
+			for w != 0 {
+				r := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				active++
+				row := a.prog[r*a.cols : (r+1)*a.cols]
+				for c, t := range row {
+					if rin > 0 {
+						t *= 1 + rng.NormFloat64()*rin
+						if t < 0 {
+							t = 0
+						} else if t > 1 {
+							t = 1
+						}
+					}
+					i := pr * t
+					if sf > 0 {
+						i += rng.NormFloat64() * sf * math.Sqrt(math.Max(i, 0)*full)
+					}
+					acc[c] += i
+				}
+			}
 		}
 	}
-	return sum
+	return active
 }
 
 // unitLevels returns the per-cell ON and OFF signal contributions used
@@ -265,19 +415,31 @@ func (a *Array) decodeCount(signal float64, activeRows int) int {
 // count of ON cells among the driven rows — for a TacitMap-programmed
 // column this is exactly Popcount(XNOR(x, w)).
 func (a *Array) VMM(input *bitops.Vector) ([]int, error) {
+	return a.VMMInto(input, nil)
+}
+
+// VMMInto is the allocation-free form of VMM: it writes the decoded
+// counts into dst (length Cols; nil allocates) and returns it. With a
+// caller-owned dst the steady-state path performs zero heap
+// allocations.
+func (a *Array) VMMInto(input *bitops.Vector, dst []int) ([]int, error) {
 	if input.Len() != a.cfg.Rows {
 		return nil, fmt.Errorf("crossbar: input length %d != rows %d", input.Len(), a.cfg.Rows)
 	}
-	active := input.Popcount()
-	out := make([]int, a.cfg.Cols)
-	for c := 0; c < a.cfg.Cols; c++ {
-		out[c] = a.decodeCount(a.columnSignal(input, c), active)
+	if dst == nil {
+		dst = make([]int, a.cfg.Cols)
+	} else if len(dst) != a.cfg.Cols {
+		return nil, fmt.Errorf("crossbar: VMMInto dst length %d != cols %d", len(dst), a.cfg.Cols)
+	}
+	active := a.accumulate(input, a.acc)
+	for c, s := range a.acc {
+		dst[c] = a.decodeCount(s, active)
 	}
 	a.stats.VMMOps++
 	a.stats.RowActivations += int64(active)
 	a.stats.DACConversions += int64(active)
 	a.stats.ADCConversions += int64(a.cfg.Cols)
-	return out, nil
+	return dst, nil
 }
 
 // ADCStepsPerVMM returns how many sequential ADC conversion rounds one
@@ -295,6 +457,15 @@ func (a *Array) ADCStepsPerVMM() int { return a.cfg.ColumnsPerADC }
 // Calling MMM on an ePCM array returns an error: frequency multiplexing
 // has no electrical equivalent (paper §II-C).
 func (a *Array) MMM(inputs []*bitops.Vector) ([][]int, error) {
+	return a.MMMInto(inputs, nil)
+}
+
+// MMMInto is the allocation-free form of MMM: dst must be nil (fully
+// allocated here) or have one row of length Cols per input (nil rows
+// are allocated). The per-wavelength signal planes live in array-owned
+// scratch that grows to the largest K seen, so the steady-state path
+// performs zero heap allocations.
+func (a *Array) MMMInto(inputs []*bitops.Vector, dst [][]int) ([][]int, error) {
 	if a.cfg.Tech != device.OPCM {
 		return nil, fmt.Errorf("crossbar: MMM requires oPCM, array is %v", a.cfg.Tech)
 	}
@@ -307,30 +478,62 @@ func (a *Array) MMM(inputs []*bitops.Vector) ([][]int, error) {
 		}
 	}
 	k := len(inputs)
-	xt := a.cfg.OPCM.CrossTalkLinear()
-	out := make([][]int, k)
-	signals := make([][]float64, k)
-	for i, in := range inputs {
-		signals[i] = make([]float64, a.cfg.Cols)
-		for c := 0; c < a.cfg.Cols; c++ {
-			signals[i][c] = a.columnSignal(in, c)
+	if dst == nil {
+		dst = make([][]int, k)
+	} else if len(dst) != k {
+		return nil, fmt.Errorf("crossbar: MMMInto dst has %d rows for %d inputs", len(dst), k)
+	}
+	for i := range dst {
+		if dst[i] == nil {
+			dst[i] = make([]int, a.cfg.Cols)
+		} else if len(dst[i]) != a.cfg.Cols {
+			return nil, fmt.Errorf("crossbar: MMMInto dst row %d length %d != cols %d", i, len(dst[i]), a.cfg.Cols)
 		}
 	}
+	if cap(a.mmmSig) < k*a.cols {
+		a.mmmSig = make([]float64, k*a.cols)
+	}
+	if cap(a.mmmAct) < k {
+		a.mmmAct = make([]int, k)
+	}
+	if a.mmmTot == nil {
+		a.mmmTot = make([]float64, a.cols)
+	}
+	sig := a.mmmSig[:k*a.cols]
+	act := a.mmmAct[:k]
 	for i, in := range inputs {
-		out[i] = make([]int, a.cfg.Cols)
-		active := in.Popcount()
-		for c := 0; c < a.cfg.Cols; c++ {
-			s := signals[i][c]
-			if xt > 0 && k > 1 {
-				var other float64
-				for j := range signals {
-					if j != i {
-						other += signals[j][c]
-					}
-				}
-				s += xt * other
+		act[i] = a.accumulate(in, sig[i*a.cols:(i+1)*a.cols])
+	}
+	xt := a.cfg.OPCM.CrossTalkLinear()
+	coupled := xt > 0 && k > 1
+	if coupled {
+		// Crosstalk couples each channel to the aggregate of all the
+		// others: precompute the per-column total once (O(K·cols)) so
+		// each channel subtracts itself, instead of re-summing the K−1
+		// other channels per (channel, column) pair (O(K²·cols)).
+		tot := a.mmmTot
+		for c := range tot {
+			tot[c] = 0
+		}
+		for i := 0; i < k; i++ {
+			for c, s := range sig[i*a.cols : (i+1)*a.cols] {
+				tot[c] += s
 			}
-			out[i][c] = a.decodeCount(s, active)
+		}
+	}
+	for i := range inputs {
+		row := sig[i*a.cols : (i+1)*a.cols]
+		out := dst[i]
+		active := act[i]
+		if coupled {
+			tot := a.mmmTot
+			for c, s := range row {
+				out[c] = a.decodeCount(s+xt*(tot[c]-s), active)
+			}
+		} else {
+			for c, s := range row {
+				out[c] = a.decodeCount(s, active)
+			}
 		}
 		a.stats.WavelengthOps += int64(a.cfg.Cols)
 		a.stats.DACConversions += int64(active)
@@ -340,7 +543,20 @@ func (a *Array) MMM(inputs []*bitops.Vector) ([][]int, error) {
 	// EinsteinBarrier's energy advantage (paper §VI-B observation 2).
 	a.stats.VMMOps++
 	a.stats.RowActivations += int64(maxActive(inputs))
-	return out, nil
+	return dst, nil
+}
+
+// forEachSet calls fn with the index of every set bit in the packed
+// word slice, ascending. The hot accumulate loops keep this scan
+// inlined by hand; the cold paths (fault reapplication, defect
+// tallies) share it here.
+func forEachSet(words []uint64, fn func(i int)) {
+	for wi, w := range words {
+		for w != 0 {
+			fn(wi*wordBits + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
 }
 
 func maxActive(inputs []*bitops.Vector) int {

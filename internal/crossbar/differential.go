@@ -60,14 +60,19 @@ func (s *DiffStats) Add(o DiffStats) {
 	s.PopcountOps += o.PopcountOps
 }
 
-// DiffArray is a programmed 2T2R array.
+// DiffArray is a programmed 2T2R array. Like Array it stores no
+// per-cell objects: the device pair of logical cell (r, c) lives at
+// index r*cols+c of two flat conductance planes (posG holds the w
+// device, negG the ¬w device). Not safe for concurrent use.
 type DiffArray struct {
-	cfg   DiffConfig
-	rng   *rand.Rand
-	pos   [][]*device.EPCMCell // stores w
-	neg   [][]*device.EPCMCell // stores ¬w
-	bits  *bitops.Matrix
-	stats DiffStats
+	cfg        DiffConfig
+	rng        *rand.Rand
+	rows, cols int
+	posG       []float64 // as-programmed conductance of the w devices
+	negG       []float64 // as-programmed conductance of the ¬w devices
+	bits       *bitops.Matrix
+	stats      DiffStats
+	sense      *bitops.Vector // scratch for RowXnorPopcount
 }
 
 // NewDiffArray allocates an all-zero 2T2R array.
@@ -75,17 +80,15 @@ func NewDiffArray(cfg DiffConfig) (*DiffArray, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &DiffArray{cfg: cfg}
+	a := &DiffArray{cfg: cfg, rows: cfg.Rows, cols: cfg.Cols}
 	if !cfg.Ideal {
 		a.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	a.pos = make([][]*device.EPCMCell, cfg.Rows)
-	a.neg = make([][]*device.EPCMCell, cfg.Rows)
-	for r := range a.pos {
-		a.pos[r] = make([]*device.EPCMCell, cfg.Cols)
-		a.neg[r] = make([]*device.EPCMCell, cfg.Cols)
-	}
+	n := cfg.Rows * cfg.Cols
+	a.posG = make([]float64, n)
+	a.negG = make([]float64, n)
 	a.bits = bitops.NewMatrix(cfg.Rows, cfg.Cols)
+	a.sense = bitops.NewVector(cfg.Cols)
 	a.programAll(a.bits)
 	a.stats = DiffStats{}
 	return a, nil
@@ -112,19 +115,26 @@ func (a *DiffArray) Program(m *bitops.Matrix) error {
 			m.Rows(), m.Cols(), a.cfg.Rows, a.cfg.Cols)
 	}
 	a.programAll(m)
-	a.bits = m.Clone()
+	a.bits.CopyFrom(m)
 	return nil
 }
 
+// programAll programs every device pair row-major, drawing the w then
+// the ¬w variability per cell — the same RNG order as programming one
+// device object after another.
 func (a *DiffArray) programAll(m *bitops.Matrix) {
-	for r := 0; r < a.cfg.Rows; r++ {
-		for c := 0; c < a.cfg.Cols; c++ {
-			bit := m.Get(r, c)
-			a.pos[r][c] = device.NewEPCMCell(a.cfg.EPCM, bit, a.rng)
-			a.neg[r][c] = device.NewEPCMCell(a.cfg.EPCM, !bit, a.rng)
-			a.stats.CellWrites += 2
+	p := a.cfg.EPCM
+	idx := 0
+	for r := 0; r < a.rows; r++ {
+		row := m.RowWords(r)
+		for c := 0; c < a.cols; c++ {
+			bit := row[c>>6]>>(uint(c)&63)&1 == 1
+			a.posG[idx] = p.ProgramConductance(bit, a.rng)
+			a.negG[idx] = p.ProgramConductance(!bit, a.rng)
+			idx++
 		}
 	}
+	a.stats.CellWrites += 2 * int64(a.rows*a.cols)
 }
 
 // ReadRowXnor activates word line row with the interleaved input pair
@@ -136,27 +146,56 @@ func (a *DiffArray) programAll(m *bitops.Matrix) {
 // thresholds at the midpoint. Device noise can flip marginal senses,
 // which the tests quantify.
 func (a *DiffArray) ReadRowXnor(row int, x *bitops.Vector) (*bitops.Vector, error) {
+	return a.ReadRowXnorInto(row, x, nil)
+}
+
+// ReadRowXnorInto is the allocation-free form of ReadRowXnor: the PCSA
+// outputs are written into out (length Cols; nil allocates).
+func (a *DiffArray) ReadRowXnorInto(row int, x, out *bitops.Vector) (*bitops.Vector, error) {
 	if row < 0 || row >= a.cfg.Rows {
 		return nil, fmt.Errorf("crossbar: row %d out of range [0,%d)", row, a.cfg.Rows)
 	}
 	if x.Len() != a.cfg.Cols {
 		return nil, fmt.Errorf("crossbar: input length %d != cols %d", x.Len(), a.cfg.Cols)
 	}
+	if out == nil {
+		out = bitops.NewVector(a.cfg.Cols)
+	} else if out.Len() != a.cfg.Cols {
+		return nil, fmt.Errorf("crossbar: ReadRowXnorInto dst length %d != cols %d", out.Len(), a.cfg.Cols)
+	}
 	p := a.cfg.EPCM
 	threshold := (p.GOn + p.GOff) / 2 * p.ReadVoltage
-	out := bitops.NewVector(a.cfg.Cols)
-	for c := 0; c < a.cfg.Cols; c++ {
-		var i float64
-		if x.Get(c) {
-			i += a.pos[row][c].ReadCurrent(a.rng)
-		} else {
-			i += a.neg[row][c].ReadCurrent(a.rng)
-		}
-		if i > threshold {
-			out.Set(c)
-		}
-		a.stats.PCSASenses++
+	sigma := 0.0
+	if a.rng != nil {
+		sigma = p.ReadNoiseSigma
 	}
+	base := row * a.cols
+	xw := x.Words()
+	ow := out.Words()
+	var acc uint64
+	for c := 0; c < a.cols; c++ {
+		g := a.negG[base+c]
+		if xw[c>>6]>>(uint(c)&63)&1 == 1 {
+			g = a.posG[base+c]
+		}
+		if sigma > 0 {
+			g *= 1 + a.rng.NormFloat64()*sigma
+			if g < 0 {
+				g = 0
+			}
+		}
+		if g*p.ReadVoltage > threshold {
+			acc |= 1 << (uint(c) & 63)
+		}
+		if c&63 == 63 {
+			ow[c>>6] = acc
+			acc = 0
+		}
+	}
+	if a.cols&63 != 0 {
+		ow[a.cols>>6] = acc
+	}
+	a.stats.PCSASenses += int64(a.cols)
 	a.stats.RowActivations++
 	return out, nil
 }
@@ -164,9 +203,10 @@ func (a *DiffArray) ReadRowXnor(row int, x *bitops.Vector) (*bitops.Vector, erro
 // RowXnorPopcount performs one full CustBinaryMap step: activate a row,
 // sense all PCSAs, then run the digital popcount tree over the sensed
 // bits. This is the 2-step (sense + count) operation the paper contrasts
-// with TacitMap's single analog step.
+// with TacitMap's single analog step. Uses array-owned sense scratch,
+// so it performs no steady-state allocations.
 func (a *DiffArray) RowXnorPopcount(row int, x *bitops.Vector) (int, error) {
-	bitsOut, err := a.ReadRowXnor(row, x)
+	bitsOut, err := a.ReadRowXnorInto(row, x, a.sense)
 	if err != nil {
 		return 0, err
 	}

@@ -2,10 +2,10 @@ package crossbar
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"einsteinbarrier/internal/bitops"
-	"einsteinbarrier/internal/device"
 )
 
 // Fault injection. PCM arrays ship with stuck-at defects (cells whose
@@ -14,6 +14,12 @@ import (
 // defect density because a flipped weight bit shifts one popcount by at
 // most one — this file lets tests and studies quantify that margin for
 // both array organizations.
+//
+// Defects are stored as two packed bit matrices (the fault mask and the
+// stuck value under the mask) and written straight into the conductance
+// planes in deterministic row-major order — the per-cell-object
+// implementation reapplied faults in Go map-iteration order, so the
+// stuck cells' programming-variability draws differed from run to run.
 
 // FaultModel describes a stuck-at defect population.
 type FaultModel struct {
@@ -37,73 +43,90 @@ func (f FaultModel) Validate() error {
 // InjectFaults overwrites a random subset of cells with stuck states.
 // It returns the number of cells whose *logical* content changed (a
 // stuck-ON fault under a stored 1 is harmless). Subsequent Program
-// calls do not heal the defects: the fault map is reapplied.
+// calls do not heal the defects: the fault mask is reapplied.
 func (a *Array) InjectFaults(f FaultModel) (flipped int, err error) {
 	if err := f.Validate(); err != nil {
 		return 0, err
 	}
 	rng := rand.New(rand.NewSource(f.Seed))
-	a.faults = make(map[[2]int]bool)
-	for r := 0; r < a.cfg.Rows; r++ {
-		for c := 0; c < a.cfg.Cols; c++ {
+	a.stuckMask = bitops.NewMatrix(a.rows, a.cols)
+	a.stuckState = bitops.NewMatrix(a.rows, a.cols)
+	a.faultCount = 0
+	for r := 0; r < a.rows; r++ {
+		for c := 0; c < a.cols; c++ {
 			u := rng.Float64()
-			var stuck, state bool
 			switch {
 			case u < f.StuckOnRate:
-				stuck, state = true, true
+				a.stuckMask.Set(r, c, true)
+				a.stuckState.Set(r, c, true)
+				a.faultCount++
 			case u < f.StuckOnRate+f.StuckOffRate:
-				stuck, state = true, false
-			}
-			if !stuck {
-				continue
-			}
-			a.faults[[2]int{r, c}] = state
-			if a.programmed.Get(r, c) != state {
-				flipped++
+				a.stuckMask.Set(r, c, true)
+				a.faultCount++
 			}
 		}
+	}
+	// flipped = |mask ∧ (programmed ⊕ stuckState)|, word-wise.
+	pw, mw, sw := a.programmed.Words(), a.stuckMask.Words(), a.stuckState.Words()
+	for i, m := range mw {
+		flipped += bits.OnesCount64(m & (pw[i] ^ sw[i]))
 	}
 	a.applyFaults()
 	return flipped, nil
 }
 
-// applyFaults forces every defective cell to its stuck state.
+// applyFaults forces every defective cell to its stuck state, writing
+// the conductance/transmittance planes directly in row-major order and
+// keeping the effective bit matrix in sync word-wise.
 func (a *Array) applyFaults() {
-	for pos, state := range a.faults {
-		r, c := pos[0], pos[1]
-		switch a.cfg.Tech {
-		case device.EPCM:
-			a.ecell[r][c] = device.NewEPCMCell(a.cfg.EPCM, state, a.rng)
-		case device.OPCM:
-			a.ocell[r][c] = device.NewOPCMCell(a.cfg.OPCM, state, a.rng)
+	if a.stuckMask == nil {
+		return
+	}
+	for r := 0; r < a.rows; r++ {
+		mw := a.stuckMask.RowWords(r)
+		sw := a.stuckState.RowWords(r)
+		ew := a.effective.RowWords(r)
+		base := r * a.cols
+		for wi, w := range mw {
+			ew[wi] = ew[wi]&^w | w&sw[wi]
 		}
+		forEachSet(mw, func(c int) {
+			a.programCell(base+c, sw[c>>6]>>(uint(c)&63)&1 == 1)
+		})
 	}
 }
 
 // FaultCount returns the number of injected defects.
-func (a *Array) FaultCount() int { return len(a.faults) }
+func (a *Array) FaultCount() int { return a.faultCount }
 
 // EffectiveBits returns the logical matrix actually stored, i.e. the
 // programmed bits with stuck cells overridden — what the analog compute
-// really sees.
+// really sees. The matrix is a fresh clone on every call.
 func (a *Array) EffectiveBits() *bitops.Matrix {
-	m := a.programmed.Clone()
-	for pos, state := range a.faults {
-		m.Set(pos[0], pos[1], state)
+	return a.effective.Clone()
+}
+
+// defectsPerColumn tallies the injected defects of every physical
+// column (all zeros when no faults are injected).
+func (a *Array) defectsPerColumn() []int {
+	perCol := make([]int, a.cols)
+	if a.stuckMask == nil {
+		return perCol
 	}
-	return m
+	for r := 0; r < a.rows; r++ {
+		forEachSet(a.stuckMask.RowWords(r), func(c int) {
+			perCol[c]++
+		})
+	}
+	return perCol
 }
 
 // MaxPopcountError returns, for a faulty TacitMap-style array, the
 // worst-case absolute popcount deviation of any column: each stuck cell
 // in a column shifts that column's count by at most one.
 func (a *Array) MaxPopcountError() int {
-	perCol := make(map[int]int)
-	for pos := range a.faults {
-		perCol[pos[1]]++
-	}
 	worst := 0
-	for _, n := range perCol {
+	for _, n := range a.defectsPerColumn() {
 		if n > worst {
 			worst = n
 		}

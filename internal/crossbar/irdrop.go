@@ -2,6 +2,7 @@ package crossbar
 
 import (
 	"fmt"
+	"math/bits"
 
 	"einsteinbarrier/internal/bitops"
 	"einsteinbarrier/internal/device"
@@ -66,16 +67,36 @@ func (a *Array) VMMWithIRDrop(input *bitops.Vector, m IRDropModel) ([]int, error
 	}
 	active := input.Popcount()
 	gOn := a.cfg.EPCM.GOn
-	out := make([]int, a.cfg.Cols)
-	for c := 0; c < a.cfg.Cols; c++ {
-		sum := 0.0
-		for r := 0; r < a.cfg.Rows; r++ {
-			if !input.Get(r) {
-				continue
+	sigma := 0.0
+	if a.rng != nil {
+		sigma = a.cfg.EPCM.ReadNoiseSigma
+	}
+	acc := a.acc
+	for i := range acc {
+		acc[i] = 0
+	}
+	// Same word-wise driven-row scan as VMM, with the per-cell wire
+	// attenuation applied on top of the (noisy) signal plane.
+	words := input.Words()
+	for wi, w := range words {
+		for w != 0 {
+			r := wi*wordBits + bits.TrailingZeros64(w)
+			w &= w - 1
+			row := a.sig[r*a.cols : (r+1)*a.cols]
+			for c, s := range row {
+				if sigma > 0 {
+					s *= 1 + a.rng.NormFloat64()*sigma
+					if s < 0 {
+						s = 0
+					}
+				}
+				acc[c] += s * m.attenuation(r, c, active, gOn)
 			}
-			sum += a.ecell[r][c].ReadCurrent(a.rng) * m.attenuation(r, c, active, gOn)
 		}
-		out[c] = a.decodeCount(sum, active)
+	}
+	out := make([]int, a.cfg.Cols)
+	for c, s := range acc {
+		out[c] = a.decodeCount(s, active)
 	}
 	a.stats.VMMOps++
 	a.stats.RowActivations += int64(active)

@@ -31,14 +31,12 @@ func (a *Array) PlanRepair(usedCols int) (RepairPlan, error) {
 		return RepairPlan{}, fmt.Errorf("crossbar: usedCols %d outside [0,%d]", usedCols, a.cfg.Cols)
 	}
 	plan := RepairPlan{Spares: a.cfg.Cols - usedCols}
-	defects := make(map[int]int)
-	for pos := range a.faults {
-		defects[pos[1]]++
-	}
 	type colDefects struct{ col, n int }
 	var ranked []colDefects
-	for c, n := range defects {
-		ranked = append(ranked, colDefects{c, n})
+	for c, n := range a.defectsPerColumn() {
+		if n > 0 {
+			ranked = append(ranked, colDefects{c, n})
+		}
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].n != ranked[j].n {
@@ -85,19 +83,10 @@ func (a *Array) RepairEffectiveness(usedCols int, plan RepairPlan) (before, afte
 	if err != nil {
 		return 0, 0, err
 	}
-	inService := make(map[int]bool, len(colMap))
+	perCol := a.defectsPerColumn()
 	for _, c := range colMap {
-		inService[c] = true
-	}
-	perCol := make(map[int]int)
-	for pos := range a.faults {
-		if inService[pos[1]] {
-			perCol[pos[1]]++
-		}
-	}
-	for _, n := range perCol {
-		if n > after {
-			after = n
+		if perCol[c] > after {
+			after = perCol[c]
 		}
 	}
 	return before, after, nil

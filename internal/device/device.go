@@ -115,7 +115,56 @@ func (p EPCMParams) Validate() error {
 // OnOffRatio returns GOn/GOff, the read window of the binary cell.
 func (p EPCMParams) OnOffRatio() float64 { return p.GOn / p.GOff }
 
-// EPCMCell is one programmed electronic PCM device.
+// ProgramConductance returns one as-programmed conductance draw for the
+// given binary state: the nominal level (SET → GOn, RESET → GOff) with
+// lognormal multiplicative spread when rng is non-nil. The RESET spread
+// is 2× ProgramSigma, reflecting the larger variability of amorphous
+// PCM. This is the per-cell program-time physics used by the flat
+// conductance planes in internal/crossbar; EPCMCell delegates to it, so
+// a plane programmed from a given rand stream is bit-identical to the
+// equivalent sequence of NewEPCMCell calls.
+func (p EPCMParams) ProgramConductance(state bool, rng *rand.Rand) float64 {
+	mean, sigma := p.GOff, 2*p.ProgramSigma
+	if state {
+		mean, sigma = p.GOn, p.ProgramSigma
+	}
+	if rng != nil && sigma > 0 {
+		// Lognormal multiplicative spread around the nominal level.
+		return mean * math.Exp(rng.NormFloat64()*sigma-0.5*sigma*sigma)
+	}
+	return mean
+}
+
+// DriftFactor returns the multiplicative conductance decay of a RESET
+// (amorphous) cell ageSeconds after programming: (t/t0)^(-ν), or 1
+// inside the reference window. SET cells do not drift; callers apply
+// the factor only to RESET state.
+func (p EPCMParams) DriftFactor(ageSeconds float64) float64 {
+	if p.DriftNu <= 0 || ageSeconds <= p.DriftT0Seconds {
+		return 1
+	}
+	return math.Pow(ageSeconds/p.DriftT0Seconds, -p.DriftNu)
+}
+
+// ReadConductance applies one per-read noise draw to the instantaneous
+// (already drifted) conductance g: a Gaussian multiplier of relative
+// sigma ReadNoiseSigma, clamped at zero. With a nil rng it returns g
+// unchanged. One rng draw iff rng ≠ nil and ReadNoiseSigma > 0 — the
+// contract the crossbar hot loops inline.
+func (p EPCMParams) ReadConductance(g float64, rng *rand.Rand) float64 {
+	if rng != nil && p.ReadNoiseSigma > 0 {
+		g *= 1 + rng.NormFloat64()*p.ReadNoiseSigma
+		if g < 0 {
+			g = 0
+		}
+	}
+	return g
+}
+
+// EPCMCell is one programmed electronic PCM device. It is a thin
+// wrapper over the EPCMParams pure functions, kept for single-device
+// studies and tests; the crossbar simulator stores flat per-array
+// planes instead of cell objects.
 type EPCMCell struct {
 	params EPCMParams
 	// programmed target state: true = SET (low resistance / logic 1).
@@ -129,17 +178,7 @@ type EPCMCell struct {
 // NewEPCMCell programs a cell to the given binary state using rng for
 // programming variability. A nil rng programs the nominal conductance.
 func NewEPCMCell(p EPCMParams, state bool, rng *rand.Rand) *EPCMCell {
-	c := &EPCMCell{params: p, state: state}
-	mean, sigma := p.GOff, 2*p.ProgramSigma
-	if state {
-		mean, sigma = p.GOn, p.ProgramSigma
-	}
-	c.g0 = mean
-	if rng != nil && sigma > 0 {
-		// Lognormal multiplicative spread around the nominal level.
-		c.g0 = mean * math.Exp(rng.NormFloat64()*sigma-0.5*sigma*sigma)
-	}
-	return c
+	return &EPCMCell{params: p, state: state, g0: p.ProgramConductance(state, rng)}
 }
 
 // State reports the programmed logical state.
@@ -158,16 +197,10 @@ func (c *EPCMCell) Age(seconds float64) {
 // and, if rng is non-nil, per-read noise.
 func (c *EPCMCell) Conductance(rng *rand.Rand) float64 {
 	g := c.g0
-	if !c.state && c.params.DriftNu > 0 && c.ageSeconds > c.params.DriftT0Seconds {
-		g *= math.Pow(c.ageSeconds/c.params.DriftT0Seconds, -c.params.DriftNu)
+	if !c.state {
+		g *= c.params.DriftFactor(c.ageSeconds)
 	}
-	if rng != nil && c.params.ReadNoiseSigma > 0 {
-		g *= 1 + rng.NormFloat64()*c.params.ReadNoiseSigma
-		if g < 0 {
-			g = 0
-		}
-	}
-	return g
+	return c.params.ReadConductance(g, rng)
 }
 
 // ReadCurrent returns the read current in amperes for the configured

@@ -92,7 +92,53 @@ func (p OPCMParams) CrossTalkLinear() float64 {
 	return math.Pow(10, p.CrossTalkDB/10)
 }
 
-// OPCMCell is one programmed optical PCM patch.
+// ProgramTransmittance returns one as-programmed transmittance draw for
+// the given binary state: the nominal level (1 → THigh, 0 → TLow) with
+// lognormal spread when rng is non-nil, clamped to [0,1]. This is the
+// program-time physics behind the flat transmittance planes in
+// internal/crossbar; OPCMCell delegates to it, so a plane programmed
+// from a given rand stream is bit-identical to the equivalent sequence
+// of NewOPCMCell calls.
+func (p OPCMParams) ProgramTransmittance(state bool, rng *rand.Rand) float64 {
+	mean := p.TLow
+	if state {
+		mean = p.THigh
+	}
+	if rng != nil && p.ProgramSigma > 0 {
+		mean *= math.Exp(rng.NormFloat64()*p.ProgramSigma - 0.5*p.ProgramSigma*p.ProgramSigma)
+	}
+	return clamp01(mean)
+}
+
+// ReadTransmittance applies one per-read laser-RIN draw to the
+// as-programmed transmittance t0, clamped to [0,1]. One rng draw iff
+// rng ≠ nil and RelIntensityNoise > 0.
+func (p OPCMParams) ReadTransmittance(t0 float64, rng *rand.Rand) float64 {
+	if rng != nil && p.RelIntensityNoise > 0 {
+		t0 *= 1 + rng.NormFloat64()*p.RelIntensityNoise
+	}
+	return clamp01(t0)
+}
+
+// PhotocurrentFrom returns the photodetector current (A) of a cell with
+// as-programmed transmittance t0 when probed at the configured
+// per-wavelength power: RIN on the transmittance, then a √signal shot
+// noise term at the detector (two rng draws per read when both noise
+// terms are enabled — the order the crossbar hot loops preserve).
+func (p *OPCMParams) PhotocurrentFrom(t0 float64, rng *rand.Rand) float64 {
+	i := p.InputPowerMW * 1e-3 * p.ReadTransmittance(t0, rng) * p.Responsivity
+	if rng != nil && p.ShotNoiseFactor > 0 {
+		// Shot noise grows with √signal; expressed relative to the
+		// single-cell full-scale signal for simplicity.
+		full := p.InputPowerMW * 1e-3 * p.THigh * p.Responsivity
+		i += rng.NormFloat64() * p.ShotNoiseFactor * math.Sqrt(math.Max(i, 0)*full)
+	}
+	return i
+}
+
+// OPCMCell is one programmed optical PCM patch — a thin wrapper over
+// the OPCMParams pure functions, kept for single-device studies and
+// tests; the crossbar simulator stores flat per-array planes instead.
 type OPCMCell struct {
 	params OPCMParams
 	state  bool
@@ -102,17 +148,7 @@ type OPCMCell struct {
 // NewOPCMCell programs an oPCM cell to the given binary state; rng (may
 // be nil) supplies programming variability.
 func NewOPCMCell(p OPCMParams, state bool, rng *rand.Rand) *OPCMCell {
-	c := &OPCMCell{params: p, state: state}
-	mean := p.TLow
-	if state {
-		mean = p.THigh
-	}
-	c.t0 = mean
-	if rng != nil && p.ProgramSigma > 0 {
-		c.t0 = mean * math.Exp(rng.NormFloat64()*p.ProgramSigma-0.5*p.ProgramSigma*p.ProgramSigma)
-	}
-	c.t0 = clamp01(c.t0)
-	return c
+	return &OPCMCell{params: p, state: state, t0: p.ProgramTransmittance(state, rng)}
 }
 
 // State reports the programmed logical state.
@@ -123,25 +159,13 @@ func (c *OPCMCell) State() bool { return c.state }
 // oPCM has no drift term: the crystalline fraction is stable, one of the
 // paper's §II-C arguments for photonic CIM.
 func (c *OPCMCell) Transmittance(rng *rand.Rand) float64 {
-	t := c.t0
-	if rng != nil && c.params.RelIntensityNoise > 0 {
-		t *= 1 + rng.NormFloat64()*c.params.RelIntensityNoise
-	}
-	return clamp01(t)
+	return c.params.ReadTransmittance(c.t0, rng)
 }
 
 // Photocurrent returns the photodetector current (A) contributed by the
 // cell when probed with the configured per-wavelength power.
 func (c *OPCMCell) Photocurrent(rng *rand.Rand) float64 {
-	powerW := c.params.InputPowerMW * 1e-3 * c.Transmittance(rng)
-	i := powerW * c.params.Responsivity
-	if rng != nil && c.params.ShotNoiseFactor > 0 {
-		// Shot noise grows with √signal; expressed relative to the
-		// single-cell full-scale signal for simplicity.
-		full := c.params.InputPowerMW * 1e-3 * c.params.THigh * c.params.Responsivity
-		i += rng.NormFloat64() * c.params.ShotNoiseFactor * math.Sqrt(math.Max(i, 0)*full)
-	}
-	return i
+	return c.params.PhotocurrentFrom(c.t0, rng)
 }
 
 func clamp01(x float64) float64 {

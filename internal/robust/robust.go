@@ -60,12 +60,27 @@ func (c Config) Validate() error {
 
 // HardwareModel is a Model whose binarized layers are programmed onto
 // simulated crossbars.
+//
+// Each mapped layer carries reusable inference scratch (the binarized
+// input vector, the popcount accumulator, and the WDM batch rows), so
+// the per-layer hardware execution performs no steady-state heap
+// allocations beyond the output tensors. A HardwareModel is therefore
+// not safe for concurrent inference.
 type HardwareModel struct {
 	model  *bnn.Model
 	cfg    Config
 	mapped map[string]*core.TacitMapped
+	// scratch is keyed like mapped.
+	scratch map[string]*layerScratch
 	// FlippedCells counts fault-induced logical flips at map time.
 	FlippedCells int
+}
+
+// layerScratch is the reusable per-layer hardware-execution state.
+type layerScratch struct {
+	xb  *bitops.Vector // binarized dense-layer input
+	pc  []int          // popcount output (length n)
+	mmm [][]int        // WDM batch popcount rows (k × n)
 }
 
 // Map programs every binarized layer of the model onto crossbars.
@@ -76,7 +91,12 @@ func Map(model *bnn.Model, cfg Config) (*HardwareModel, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	h := &HardwareModel{model: model, cfg: cfg, mapped: make(map[string]*core.TacitMapped)}
+	h := &HardwareModel{
+		model:   model,
+		cfg:     cfg,
+		mapped:  make(map[string]*core.TacitMapped),
+		scratch: make(map[string]*layerScratch),
+	}
 	seed := cfg.Array.Seed
 	for _, l := range model.Layers {
 		b, ok := l.(bnn.Binarized)
@@ -98,6 +118,17 @@ func Map(model *bnn.Model, cfg Config) (*HardwareModel, error) {
 			h.FlippedCells += n
 		}
 		h.mapped[l.Name()] = tm
+		sc := &layerScratch{
+			xb: bitops.NewVector(tm.Plan().M),
+			pc: make([]int, tm.Plan().N),
+		}
+		if cfg.WDM > 1 {
+			sc.mmm = make([][]int, cfg.WDM)
+			for i := range sc.mmm {
+				sc.mmm[i] = make([]int, tm.Plan().N)
+			}
+		}
+		h.scratch[l.Name()] = sc
 	}
 	return h, nil
 }
@@ -138,8 +169,9 @@ func (h *HardwareModel) Predict(x *tensor.Float) (int, error) {
 
 func (h *HardwareModel) denseOnHW(l *bnn.BinaryDense, x *tensor.Float) (*tensor.Float, error) {
 	tm := h.mapped[l.Name()]
-	xb := bitops.FromFloats(x.Data())
-	pc, err := tm.Execute(xb)
+	sc := h.scratch[l.Name()]
+	sc.xb.SetFromFloats(x.Data())
+	pc, err := tm.ExecuteInto(sc.xb, sc.pc)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +189,7 @@ func (h *HardwareModel) denseOnHW(l *bnn.BinaryDense, x *tensor.Float) (*tensor.
 
 func (h *HardwareModel) convOnHW(l *bnn.BinaryConv2D, x *tensor.Float) (*tensor.Float, error) {
 	tm := h.mapped[l.Name()]
+	sc := h.scratch[l.Name()]
 	patches := l.PatchVectors(x)
 	pos := l.Geom.Positions()
 	m := l.Geom.PatchLen()
@@ -173,7 +206,7 @@ func (h *HardwareModel) convOnHW(l *bnn.BinaryConv2D, x *tensor.Float) (*tensor.
 	if h.cfg.WDM > 1 {
 		for start := 0; start < len(patches); start += h.cfg.WDM {
 			end := min(start+h.cfg.WDM, len(patches))
-			counts, err := tm.ExecuteMMM(patches[start:end])
+			counts, err := tm.ExecuteMMMInto(patches[start:end], sc.mmm[:end-start])
 			if err != nil {
 				return nil, err
 			}
@@ -184,7 +217,7 @@ func (h *HardwareModel) convOnHW(l *bnn.BinaryConv2D, x *tensor.Float) (*tensor.
 		return y, nil
 	}
 	for p, patch := range patches {
-		pc, err := tm.Execute(patch)
+		pc, err := tm.ExecuteInto(patch, sc.pc)
 		if err != nil {
 			return nil, err
 		}

@@ -106,7 +106,6 @@ func (s *Simulator) Run(c *compiler.Compiled) (*Result, error) {
 		return float64(repeat) * (perStep + tia)
 	}
 	sectionStart := 0.0
-	sectionName := ""
 	for _, in := range c.Program {
 		res.Counters.Instructions++
 		var dt float64
@@ -117,12 +116,19 @@ func (s *Simulator) Run(c *compiler.Compiled) (*Result, error) {
 		case isa.OpSync:
 			dt = s.costs.LayerOverheadNs
 			e.ControlPJ = s.costs.LayerOverheadPJ
+			// Sections are delimited by SYNC barriers and named by the
+			// barrier's comment (the compiler stamps the layer name on
+			// every SYNC it emits); an unnamed barrier still produces a
+			// deterministic section label.
+			name := in.Comment
+			if name == "" {
+				name = fmt.Sprintf("section-%d", len(res.PerLayer))
+			}
 			res.PerLayer = append(res.PerLayer, LayerTime{
-				Name:      in.Comment,
+				Name:      name,
 				LatencyNs: res.LatencyNs + dt - sectionStart,
 			})
 			sectionStart = res.LatencyNs + dt
-			sectionName = ""
 		case isa.OpMVM:
 			dt = float64(in.Repeat) * s.costs.VMMStepENs(adcRounds)
 			res.Counters.VMMs += in.Repeat * int64(in.Tiles)
@@ -187,7 +193,6 @@ func (s *Simulator) Run(c *compiler.Compiled) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("sim: unknown opcode %v", in.Op)
 		}
-		_ = sectionName
 		res.LatencyNs += dt
 		res.Energy.Add(e)
 	}
