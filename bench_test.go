@@ -292,6 +292,55 @@ func BenchmarkBitops(b *testing.B) {
 	})
 }
 
+// BenchmarkPipeline regenerates the batch-throughput extension: the
+// tile-level pipelined engine streams B inferences through every
+// design's stage pipeline (including the registry-added MLC-ePCM and
+// wide-K designs). The reported inf/s metric is the achieved
+// steady-state throughput of the simulated hardware; ns/op measures the
+// engine itself.
+func BenchmarkPipeline(b *testing.B) {
+	cfg := eval.DefaultConfig()
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	designs := []arch.Design{
+		arch.BaselineEPCM, arch.TacitEPCM, arch.EinsteinBarrier,
+		arch.MLCEPCM, arch.EinsteinBarrierK64,
+	}
+	for _, network := range []string{"CNN-S", "CNN-L", "MLP-L"} {
+		model, err := bnn.NewModel(network, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range designs {
+			c, err := compiler.Compile(model, cfg.Arch, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := simulator.NewEngine(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range []int{1, 16, 256} {
+				b.Run(fmt.Sprintf("%s/%v/B=%d", network, d, batch), func(b *testing.B) {
+					var br *sim.BatchResult
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						var err error
+						if br, err = eng.RunBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(br.ThroughputPerSec, "inf/s")
+					b.ReportMetric(br.SteadyStatePerSec, "inf/s-ceiling")
+					b.ReportMetric(br.LatencyNs, "ns/inference")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkEvalRun measures the full Fig. 7/8 evaluation (compile +
 // simulate, all networks × designs) through the parallel engine at
 // several worker-pool sizes; workers=1 is the serial reference.

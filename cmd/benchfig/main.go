@@ -1,16 +1,25 @@
 // Command benchfig regenerates the paper's evaluation artifacts:
 //
-//	benchfig -fig 7          # Fig. 7: normalized latency per network
-//	benchfig -fig 8          # Fig. 8: normalized energy per network
-//	benchfig -fig 7 -summary # §VI callouts vs the paper's values
-//	benchfig -fig wdm        # WDM capacity sweep (E6)
-//	benchfig -fig steps      # TacitMap vs CustBinaryMap step sweep (E5)
+//	benchfig -fig 7             # Fig. 7: normalized latency per network
+//	benchfig -fig 8             # Fig. 8: normalized energy per network
+//	benchfig -fig 7 -summary    # §VI callouts vs the paper's values
+//	benchfig -fig batch         # pipelined batch-throughput sweep
+//	benchfig -fig batch -batch 1,8,64 -designs EinsteinBarrier,eb64
+//	benchfig -fig wdm           # WDM capacity sweep (E6)
+//	benchfig -fig steps         # TacitMap vs CustBinaryMap step sweep (E5)
+//
+// Designs are resolved by name through the arch design registry
+// (arch.ParseDesign); -csv / -json switch any report to machine-readable
+// export.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/core"
@@ -19,15 +28,29 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "7", "artifact to regenerate: 7, 8, wdm, steps")
-	summary := flag.Bool("summary", false, "also print the §VI observation summary")
-	seed := flag.Int64("seed", 1, "zoo weight-synthesis seed")
-	k := flag.Int("k", 0, "override WDM capacity (default: architecture default 16)")
-	colsPerADC := flag.Int("cols-per-adc", 0, "override ADC sharing factor")
-	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = one per CPU, 1 = serial)")
-	csvOut := flag.Bool("csv", false, "emit the full report as CSV instead of tables")
-	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: parses args, writes the report to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchfig", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fig := fs.String("fig", "7", "artifact to regenerate: 7, 8, batch, wdm, steps, ablate, area")
+	summary := fs.Bool("summary", false, "also print the §VI observation summary")
+	seed := fs.Int64("seed", 1, "zoo weight-synthesis seed")
+	k := fs.Int("k", 0, "override WDM capacity (default: architecture default 16)")
+	colsPerADC := fs.Int("cols-per-adc", 0, "override ADC sharing factor")
+	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = one per CPU, 1 = serial)")
+	csvOut := fs.Bool("csv", false, "emit the report as CSV instead of tables")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of tables")
+	batch := fs.String("batch", "1,2,4,8,16,32", "comma-separated batch sizes for -fig batch")
+	designNames := fs.String("designs", "", "comma-separated design names/aliases (default: every registered design for -fig batch, the paper set otherwise)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := eval.DefaultConfig()
 	cfg.Seed = *seed
@@ -38,50 +61,116 @@ func main() {
 	if *colsPerADC > 0 {
 		cfg.Arch.ColumnsPerADC = *colsPerADC
 	}
+	designs, err := parseDesigns(*designNames)
+	if err != nil {
+		return err
+	}
 
 	switch *fig {
 	case "7", "8":
+		if len(designs) > 0 {
+			cfg.Designs = append(append([]arch.Design{}, arch.CIMDesigns...), extrasOf(designs)...)
+		}
 		rep, err := eval.Run(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *csvOut {
-			if err := rep.WriteCSV(os.Stdout); err != nil {
-				fatal(err)
-			}
-			return
+			return rep.WriteCSV(out)
 		}
 		if *jsonOut {
-			if err := rep.WriteJSON(os.Stdout); err != nil {
-				fatal(err)
-			}
-			return
+			return rep.WriteJSON(out)
 		}
 		if *fig == "7" {
-			fmt.Print(rep.Fig7Table())
+			fmt.Fprint(out, rep.Fig7Table())
 		} else {
-			fmt.Print(rep.Fig8Table())
+			fmt.Fprint(out, rep.Fig8Table())
 		}
 		if *summary {
-			fmt.Println()
-			fmt.Print(rep.SummaryTable())
+			fmt.Fprintln(out)
+			fmt.Fprint(out, rep.SummaryTable())
 		}
+		return nil
+	case "batch":
+		batches, err := parseBatches(*batch)
+		if err != nil {
+			return err
+		}
+		rows, err := eval.ThroughputAt(cfg, designs, batches)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return eval.WriteThroughputCSV(out, rows)
+		}
+		if *jsonOut {
+			return eval.WriteThroughputJSON(out, rows)
+		}
+		fmt.Fprint(out, eval.ThroughputTable(rows))
+		return nil
 	case "wdm":
-		wdmSweep(cfg)
+		return wdmSweep(out, cfg)
 	case "steps":
-		stepSweep()
+		return stepSweep(out)
 	case "ablate":
-		ablate(cfg)
+		return ablate(out, cfg)
 	case "area":
-		areaTable(cfg)
+		return areaTable(out, cfg)
 	default:
-		fatal(fmt.Errorf("unknown -fig %q", *fig))
+		return fmt.Errorf("unknown -fig %q", *fig)
 	}
+}
+
+// parseDesigns resolves a comma-separated design list through the
+// registry; unknown names are an error, never a silent default.
+func parseDesigns(names string) ([]arch.Design, error) {
+	if strings.TrimSpace(names) == "" {
+		return nil, nil
+	}
+	var out []arch.Design
+	for _, n := range strings.Split(names, ",") {
+		d, err := arch.ParseDesign(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// extrasOf filters out the paper designs (already in every report).
+func extrasOf(designs []arch.Design) []arch.Design {
+	var out []arch.Design
+	for _, d := range designs {
+		extra := true
+		for _, p := range arch.CIMDesigns {
+			if d == p {
+				extra = false
+				break
+			}
+		}
+		if extra {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bad -batch entry %q (want positive integers)", f)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // areaTable prints the per-design silicon area of one crossbar unit —
 // the paper's §V-A synthesis methodology made explicit.
-func areaTable(cfg eval.Config) {
+func areaTable(out io.Writer, cfg eval.Config) error {
 	p := energy.DefaultAreaParams()
 	a := cfg.Arch
 	rows := []struct {
@@ -92,88 +181,87 @@ func areaTable(cfg eval.Config) {
 		{"TacitMap-ePCM (1T1R+ADC)", p.TacitArrayArea(a.CrossbarRows, a.CrossbarCols, a.ColumnsPerADC)},
 		{"EinsteinBarrier (oPCM)", p.EinsteinBarrierArrayArea(a.CrossbarRows, a.CrossbarCols, a.ColumnsPerADC, a.WDMCapacity, a.VCoresPerECore)},
 	}
-	fmt.Println("Per-array silicon area (mm2)")
-	fmt.Printf("%-26s %10s %12s %10s %10s %10s\n", "design", "cells", "converters", "photonic", "digital", "total")
+	fmt.Fprintln(out, "Per-array silicon area (mm2)")
+	fmt.Fprintf(out, "%-26s %10s %12s %10s %10s %10s\n", "design", "cells", "converters", "photonic", "digital", "total")
 	for _, r := range rows {
-		fmt.Printf("%-26s %10.4f %12.4f %10.4f %10.4f %10.4f\n", r.name,
+		fmt.Fprintf(out, "%-26s %10.4f %12.4f %10.4f %10.4f %10.4f\n", r.name,
 			r.b.Cells/1e6, r.b.Converters/1e6, r.b.Photonic/1e6, r.b.Digital/1e6, r.b.Total()/1e6)
 	}
+	return nil
 }
 
 // ablate prints the three design-choice sweeps DESIGN.md calls out.
-func ablate(cfg eval.Config) {
+func ablate(out io.Writer, cfg eval.Config) error {
 	wdm, err := eval.AblateWDMCapacity(cfg, []int{1, 2, 4, 8, 16})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(eval.AblationTable("WDM capacity sweep", wdm))
-	fmt.Println()
+	fmt.Fprint(out, eval.AblationTable("WDM capacity sweep", wdm))
+	fmt.Fprintln(out)
 	adc, err := eval.AblateColumnsPerADC(cfg, []int{1, 4, 8, 16, 32})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(eval.AblationTable("ADC sharing sweep", adc))
-	fmt.Println()
+	fmt.Fprint(out, eval.AblationTable("ADC sharing sweep", adc))
+	fmt.Fprintln(out)
 	sizes, err := eval.AblateCrossbarSize(cfg, []int{128, 256, 512})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(eval.AblationTable("Crossbar size sweep", sizes))
+	fmt.Fprint(out, eval.AblationTable("Crossbar size sweep", sizes))
+	return nil
 }
 
 // wdmSweep reproduces E6: EinsteinBarrier speedup over TacitMap-ePCM as
 // the WDM capacity grows — bounded by K and by the network's available
 // parallelism (paper §VI-A observation 3).
-func wdmSweep(cfg eval.Config) {
-	fmt.Println("E6 — EinsteinBarrier/TacitMap-ePCM latency ratio vs WDM capacity K")
-	fmt.Printf("%-6s", "K")
+func wdmSweep(out io.Writer, cfg eval.Config) error {
+	fmt.Fprintln(out, "E6 — EinsteinBarrier/TacitMap-ePCM latency ratio vs WDM capacity K")
+	fmt.Fprintf(out, "%-6s", "K")
 	base, err := eval.Run(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, n := range base.Networks {
-		fmt.Printf("%10s", n.Network)
+		fmt.Fprintf(out, "%10s", n.Network)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		c := cfg
 		c.Arch.WDMCapacity = k
 		rep, err := eval.Run(c)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%-6d", k)
+		fmt.Fprintf(out, "%-6d", k)
 		for _, n := range rep.Networks {
-			fmt.Printf("%9.1fx", n.LatTacit/n.LatEB)
+			fmt.Fprintf(out, "%9.1fx", n.LatTacit/n.LatEB)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }
 
 // stepSweep reproduces E5: the §III theoretical claim that TacitMap
 // needs n× fewer crossbar steps than CustBinaryMap on the same device.
-func stepSweep() {
-	fmt.Println("E5 — serial crossbar steps per input vector (single 256x256 array)")
-	fmt.Printf("%-24s %14s %14s %10s\n", "layer (n x m)", "CustBinaryMap", "TacitMap", "ratio")
+func stepSweep(out io.Writer) error {
+	fmt.Fprintln(out, "E5 — serial crossbar steps per input vector (single 256x256 array)")
+	fmt.Fprintf(out, "%-24s %14s %14s %10s\n", "layer (n x m)", "CustBinaryMap", "TacitMap", "ratio")
 	cfg := arch.DefaultConfig()
 	for _, dims := range [][2]int{{16, 128}, {64, 128}, {128, 128}, {256, 128}, {256, 256}, {512, 512}} {
 		n, m := dims[0], dims[1]
 		tp, err := core.PlanTacit(n, m, cfg.CrossbarRows, cfg.CrossbarCols)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cp, err := core.PlanCust(n, m, cfg.CrossbarRows, cfg.CrossbarCols/2)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%-24s %14d %14d %9.0fx\n",
+		fmt.Fprintf(out, "%-24s %14d %14d %9.0fx\n",
 			fmt.Sprintf("%d x %d", n, m),
 			cp.SingleArrayStepsPerInput(), tp.SingleArrayStepsPerInput(),
 			float64(cp.SingleArrayStepsPerInput())/float64(tp.SingleArrayStepsPerInput()))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchfig:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestFig7CSVExport(t *testing.T) {
+	out := runOK(t, "-fig", "7", "-csv")
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 { // header + six networks
+		t.Fatalf("CSV has %d rows, want 7", len(recs))
+	}
+	if recs[0][0] != "network" || recs[0][1] != "fig7_tacit_speedup" {
+		t.Fatalf("header wrong: %v", recs[0])
+	}
+	nets := map[string]bool{}
+	for _, r := range recs[1:] {
+		nets[r[0]] = true
+	}
+	for _, n := range []string{"CNN-S", "CNN-M", "CNN-L", "MLP-S", "MLP-M", "MLP-L"} {
+		if !nets[n] {
+			t.Fatalf("CSV missing network %s", n)
+		}
+	}
+}
+
+func TestFig7JSONExport(t *testing.T) {
+	out := runOK(t, "-fig", "7", "-json")
+	var rep struct {
+		Summary  map[string]float64 `json:"summary"`
+		Networks []map[string]any   `json:"networks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Networks) != 6 {
+		t.Fatalf("JSON has %d networks, want 6", len(rep.Networks))
+	}
+	if rep.Summary["MeanEBSpeedup"] <= 0 {
+		t.Fatalf("summary missing MeanEBSpeedup: %v", rep.Summary)
+	}
+}
+
+func TestBatchSweepTableAndExports(t *testing.T) {
+	table := runOK(t, "-fig", "batch", "-batch", "1,8")
+	for _, frag := range []string{"B=1", "B=8", "MLC-ePCM", "EinsteinBarrier-K64", "bottleneck"} {
+		if !strings.Contains(table, frag) {
+			t.Fatalf("batch table missing %q:\n%s", frag, table)
+		}
+	}
+
+	out := runOK(t, "-fig", "batch", "-batch", "1,8", "-designs", "eb,eb64", "-csv")
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 6 networks × 2 designs × 2 batches
+	if len(recs) != 1+24 {
+		t.Fatalf("batch CSV has %d rows, want 25", len(recs))
+	}
+
+	out = runOK(t, "-fig", "batch", "-batch", "4", "-designs", "mlc", "-json")
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || rows[0]["design"] != "MLC-ePCM" {
+		t.Fatalf("batch JSON wrong: %d rows, first design %v", len(rows), rows[0]["design"])
+	}
+}
+
+func TestUnknownDesignAndFigError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "batch", "-designs", "warp-drive"}, &out); err == nil {
+		t.Fatal("unknown design must error")
+	} else if !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("error should name the bad design: %v", err)
+	}
+	if err := run([]string{"-fig", "nope"}, &out); err == nil {
+		t.Fatal("unknown -fig must error")
+	}
+	if err := run([]string{"-fig", "batch", "-batch", "0,-3"}, &out); err == nil {
+		t.Fatal("bad batch list must error")
+	}
+}

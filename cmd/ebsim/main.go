@@ -1,38 +1,57 @@
 // Command ebsim compiles and simulates one BNN from the model zoo on a
 // chosen accelerator design, printing the compiled program statistics,
-// per-layer latencies, and the energy breakdown.
+// per-layer latencies, the energy breakdown, and the pipelined batch
+// drill-down. Designs are resolved by registry name or alias
+// (arch.ParseDesign); "gpu" selects the analytic GPU baseline.
 //
 //	ebsim -model CNN-L -design eb
 //	ebsim -model MLP-S -design baseline -program   # dump the ISA stream
 //	ebsim -model CNN-M -design tacit -k 8 -cols-per-adc 16
+//	ebsim -model CNN-S -design eb64 -batch 64      # wide-K batch drill-down
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/energy"
 	"einsteinbarrier/internal/gpu"
 	"einsteinbarrier/internal/sim"
 )
 
 func main() {
-	model := flag.String("model", "CNN-S", "zoo model: "+strings.Join(bnn.ZooNames, ", "))
-	design := flag.String("design", "eb", "design: baseline, tacit, eb, gpu")
-	seed := flag.Int64("seed", 1, "weight-synthesis seed")
-	k := flag.Int("k", 0, "override WDM capacity")
-	colsPerADC := flag.Int("cols-per-adc", 0, "override ADC sharing factor")
-	dumpProgram := flag.Bool("program", false, "print the compiled ISA stream")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: parses args, writes the drill-down to
+// out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ebsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	model := fs.String("model", "CNN-S", "zoo model: "+strings.Join(bnn.ZooNames, ", "))
+	design := fs.String("design", "eb", "registered design name or alias, or gpu")
+	seed := fs.Int64("seed", 1, "weight-synthesis seed")
+	k := fs.Int("k", 0, "override WDM capacity")
+	colsPerADC := fs.Int("cols-per-adc", 0, "override ADC sharing factor")
+	dumpProgram := fs.Bool("program", false, "print the compiled ISA stream")
+	batch := fs.Int("batch", 32, "batch size for the pipeline drill-down")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m, err := bnn.NewModel(*model, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := arch.DefaultConfig()
 	if *k > 0 {
@@ -44,64 +63,68 @@ func main() {
 
 	if *design == "gpu" {
 		g := gpu.DefaultModel()
-		fmt.Printf("%s on Baseline-GPU\n", m.Name())
-		fmt.Printf("  latency: %.2f us\n", g.InferenceLatencyNs(m)/1e3)
-		fmt.Printf("  energy:  %.2f uJ\n", g.InferenceEnergyPJ(m)/1e6)
-		return
+		fmt.Fprintf(out, "%s on Baseline-GPU\n", m.Name())
+		fmt.Fprintf(out, "  latency: %.2f us\n", g.InferenceLatencyNs(m)/1e3)
+		fmt.Fprintf(out, "  energy:  %.2f uJ\n", g.InferenceEnergyPJ(m)/1e6)
+		return nil
 	}
 
-	var d arch.Design
-	switch *design {
-	case "baseline":
-		d = arch.BaselineEPCM
-	case "tacit":
-		d = arch.TacitEPCM
-	case "eb":
-		d = arch.EinsteinBarrier
-	default:
-		fatal(fmt.Errorf("unknown design %q (want baseline|tacit|eb|gpu)", *design))
+	d, err := arch.ParseDesign(*design)
+	if err != nil {
+		return err
+	}
+	spec, err := d.Spec()
+	if err != nil {
+		return err
 	}
 
 	c, err := compiler.Compile(m, cfg, d)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	placement, err := compiler.PlaceAndRewrite(c, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dumpProgram {
-		fmt.Print(c.Program.String())
-		return
+		for _, sec := range c.Program.Sections() {
+			if sec.Name != "" {
+				fmt.Fprintf(out, "; --- %s ---\n", sec.Name)
+			}
+			fmt.Fprint(out, sec.Ins.String())
+		}
+		return nil
 	}
 	s, err := sim.New(cfg, energy.DefaultCostParams())
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	r, err := s.Run(c)
+	eng, err := s.NewEngine(c)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	r := eng.Result()
 
-	fmt.Printf("%s on %v\n", m.Name(), d)
-	fmt.Printf("  binary ops/inference: %d\n", m.TotalBinaryOps())
-	fmt.Printf("  fp MACs/inference:    %d\n", m.TotalFPMACs())
-	fmt.Printf("  VCores used:          %d / %d\n", c.VCoresUsed, cfg.TotalVCores())
-	fmt.Printf("  placement:            %d layer spans, %d total hops, %d chip crossings\n",
+	fmt.Fprintf(out, "%s on %v (%v on %v%s)\n", m.Name(), d, spec.Mapping, spec.Tech,
+		mlcSuffix(spec))
+	fmt.Fprintf(out, "  binary ops/inference: %d\n", m.TotalBinaryOps())
+	fmt.Fprintf(out, "  fp MACs/inference:    %d\n", m.TotalFPMACs())
+	fmt.Fprintf(out, "  VCores used:          %d / %d\n", c.VCoresUsed, cfg.TotalVCores())
+	fmt.Fprintf(out, "  placement:            %d layer spans, %d total hops, %d chip crossings\n",
 		len(placement.Spans), placement.TotalHops, placement.ChipCrossings)
 	if lc, err := sim.WeightLoadCost(c, cfg); err == nil {
-		fmt.Printf("  weight load (once):   %.2f us, %.2f uJ for %d writes\n",
+		fmt.Fprintf(out, "  weight load (once):   %.2f us, %.2f uJ for %d writes\n",
 			lc.LatencyNs/1e3, lc.EnergyPJ/1e6, lc.Writes)
 	}
-	fmt.Printf("  instructions:         %d\n", r.Counters.Instructions)
-	fmt.Printf("  latency:              %.2f us\n", r.LatencyNs/1e3)
-	fmt.Printf("  energy:               %.2f uJ\n", r.EnergyPJ()/1e6)
-	fmt.Println("  per-layer latency:")
+	fmt.Fprintf(out, "  instructions:         %d\n", r.Counters.Instructions)
+	fmt.Fprintf(out, "  latency:              %.2f us\n", r.LatencyNs/1e3)
+	fmt.Fprintf(out, "  energy:               %.2f uJ\n", r.EnergyPJ()/1e6)
+	fmt.Fprintln(out, "  per-layer latency:")
 	for _, lt := range r.PerLayer {
-		fmt.Printf("    %-14s %12.2f us\n", lt.Name, lt.LatencyNs/1e3)
+		fmt.Fprintf(out, "    %-14s %12.2f us\n", lt.Name, lt.LatencyNs/1e3)
 	}
 	e := r.Energy
-	fmt.Println("  energy breakdown (uJ):")
+	fmt.Fprintln(out, "  energy breakdown (uJ):")
 	for _, row := range []struct {
 		name string
 		v    float64
@@ -110,30 +133,44 @@ func main() {
 		{"sense", e.SensePJ}, {"digital", e.DigitalPJ},
 		{"control+noc", e.ControlPJ}, {"optical static", e.StaticPJ},
 	} {
-		fmt.Printf("    %-14s %12.3f\n", row.name, row.v/1e6)
+		fmt.Fprintf(out, "    %-14s %12.3f\n", row.name, row.v/1e6)
 	}
 
-	if p, err := sim.Pipeline(r); err == nil {
-		fmt.Printf("  streaming throughput: %.0f inf/s (bottleneck %s, pipeline gain %.1fx)\n",
-			p.ThroughputPerSec, p.BottleneckName, p.SpeedupOverSerial())
+	br, err := eng.RunBatch(*batch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  pipeline (batch %d):  %.0f inf/s achieved, %.0f inf/s ceiling (bottleneck %s)\n",
+		br.Batch, br.ThroughputPerSec, br.SteadyStatePerSec, br.BottleneckName)
+	fmt.Fprintf(out, "    noc contention stall: %.2f us over the batch\n", br.LinkWaitNs/1e3)
+	fmt.Fprintln(out, "    stage occupancy:")
+	for _, st := range br.Stages {
+		fmt.Fprintf(out, "      %-14s %5.1f%% busy, %4d tiles, %10.2f us/sample\n",
+			st.Name, 100*st.Busy, st.Tiles, st.ServiceNs/1e3)
 	}
 
 	area := energy.DefaultAreaParams()
 	var perArray energy.AreaBreakdown
-	switch d {
-	case arch.BaselineEPCM:
+	switch {
+	case spec.Mapping == arch.MappingCust:
 		perArray = area.BaselineArrayArea(cfg.CrossbarRows, cfg.CrossbarCols/2)
-	case arch.TacitEPCM:
-		perArray = area.TacitArrayArea(cfg.CrossbarRows, cfg.CrossbarCols, cfg.ColumnsPerADC)
-	case arch.EinsteinBarrier:
+	case spec.Tech == device.OPCM:
 		perArray = area.EinsteinBarrierArrayArea(cfg.CrossbarRows, cfg.CrossbarCols,
-			cfg.ColumnsPerADC, cfg.WDMCapacity, cfg.VCoresPerECore)
+			cfg.ColumnsPerADC, cfg.EffectiveK(d), cfg.VCoresPerECore)
+	default:
+		perArray = area.TacitArrayArea(cfg.CrossbarRows, cfg.CrossbarCols, cfg.ColumnsPerADC)
 	}
-	fmt.Printf("  silicon area:         %.3f mm2/array, %.1f mm2 for the %d arrays used\n",
+	fmt.Fprintf(out, "  silicon area:         %.3f mm2/array, %.1f mm2 for the %d arrays used\n",
 		perArray.Total()/1e6, perArray.Total()*float64(c.VCoresUsed)/1e6, c.VCoresUsed)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ebsim:", err)
-	os.Exit(1)
+// mlcSuffix annotates multi-level-cell designs with their level count
+// and the analytic decode error the level choice costs (device/mlc.go).
+func mlcSuffix(spec arch.DesignSpec) string {
+	if spec.MLC == nil {
+		return ""
+	}
+	return fmt.Sprintf(", %d-level cells, decode err %.2g",
+		spec.MLC.Levels, spec.MLC.AnalyticErrorRate())
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestDrillDownSmoke(t *testing.T) {
+	out := runOK(t, "-model", "MLP-S", "-design", "tacit", "-batch", "8")
+	for _, frag := range []string{
+		"MLP-S on TacitMap-ePCM",
+		"latency:",
+		"energy breakdown (uJ):",
+		"per-layer latency:",
+		"pipeline (batch 8):",
+		"stage occupancy:",
+		"silicon area:",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("drill-down missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRegistryDesignsDrillDown(t *testing.T) {
+	out := runOK(t, "-model", "MLP-S", "-design", "mlc")
+	if !strings.Contains(out, "MLC-ePCM") || !strings.Contains(out, "4-level cells") {
+		t.Fatalf("MLC drill-down missing registry annotations:\n%s", out)
+	}
+	out = runOK(t, "-model", "CNN-S", "-design", "eb64", "-batch", "16")
+	if !strings.Contains(out, "EinsteinBarrier-K64") || !strings.Contains(out, "inf/s ceiling") {
+		t.Fatalf("wide-K drill-down wrong:\n%s", out)
+	}
+}
+
+func TestGPUPath(t *testing.T) {
+	out := runOK(t, "-model", "MLP-S", "-design", "gpu")
+	if !strings.Contains(out, "Baseline-GPU") || !strings.Contains(out, "latency:") {
+		t.Fatalf("gpu drill-down wrong:\n%s", out)
+	}
+}
+
+func TestProgramDumpSectioned(t *testing.T) {
+	out := runOK(t, "-model", "MLP-S", "-design", "eb", "-program")
+	if !strings.Contains(out, "; --- fc1-bin ---") {
+		t.Fatalf("program dump not sectioned:\n%s", out)
+	}
+	if !strings.Contains(out, "MMM") || !strings.Contains(out, "HALT") {
+		t.Fatalf("program dump missing instructions:\n%s", out)
+	}
+}
+
+func TestUnknownDesignErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-design", "hal9000"}, &out)
+	if err == nil {
+		t.Fatal("unknown design must error, not default")
+	}
+	if !strings.Contains(err.Error(), "hal9000") || !strings.Contains(err.Error(), "registered") {
+		t.Fatalf("error should name the design and list the registry: %v", err)
+	}
+}

@@ -25,6 +25,7 @@ func main() {
 	samples := flag.Int("samples", 60, "held-out samples per corner")
 	epochs := flag.Int("epochs", 10, "training epochs")
 	seed := flag.Int64("seed", 7, "seed")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results are bit-identical at any count)")
 	flag.Parse()
 
 	if *sweep == "mlc" {
@@ -47,6 +48,7 @@ func main() {
 		test = test[:*samples]
 	}
 	base := robust.DefaultConfig(dtech)
+	base.Workers = *workers
 
 	var points []robust.SweepPoint
 	var err error

@@ -17,10 +17,11 @@
 //  4. contrast with the multi-level-cell error rates that justify the
 //     paper's binary design point.
 //
-//     go run ./examples/fault_study
+//     go run ./examples/fault_study -workers 4
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -32,6 +33,8 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results are bit-identical at any count)")
+	flag.Parse()
 	// 1. Train and freeze.
 	samples := dataset.Digits(700, 5)
 	train, test, err := dataset.Split(samples, 0.85)
@@ -51,8 +54,10 @@ func main() {
 	model := tr.Export("digit-mlp")
 	fmt.Printf("frozen model, %d held-out samples\n\n", len(test))
 
-	// 2. Noise sweep on oPCM hardware.
+	// 2. Noise sweep on oPCM hardware — corners fan out over the
+	// robust/infer worker pool.
 	base := robust.DefaultConfig(device.OPCM)
+	base.Workers = *workers
 	fmt.Println("programming-spread sweep (oPCM, WDM=16):")
 	fmt.Printf("%-14s %14s %12s %12s\n", "corner", "sw/hw agree", "sw acc", "hw acc")
 	points, err := robust.NoiseSweep(model, test, base,
@@ -70,7 +75,9 @@ func main() {
 	// 3. Defect-density sweep.
 	fmt.Println("\nstuck-at defect sweep (ePCM):")
 	fmt.Printf("%-14s %14s %12s\n", "corner", "sw/hw agree", "hw acc")
-	fpoints, err := robust.FaultSweep(model, test, robust.DefaultConfig(device.EPCM),
+	ecfg := robust.DefaultConfig(device.EPCM)
+	ecfg.Workers = *workers
+	fpoints, err := robust.FaultSweep(model, test, ecfg,
 		[]float64{0.001, 0.01, 0.05, 0.2})
 	if err != nil {
 		log.Fatal(err)

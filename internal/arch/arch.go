@@ -15,8 +15,10 @@ import (
 	"einsteinbarrier/internal/device"
 )
 
-// Design identifies one of the evaluated accelerator configurations
-// (paper §V-B).
+// Design is a handle into the design registry (registry.go). The three
+// constants below are the paper's evaluated CIM designs (§V-B), which
+// occupy the first registry slots; further designs are added with
+// Register/MustRegister and resolved by name with ParseDesign.
 type Design int
 
 const (
@@ -31,27 +33,24 @@ const (
 
 // CIMDesigns is the canonical evaluated CIM design set of Fig. 7/8, in
 // report order — the single source of truth for code that iterates
-// over all designs.
+// over the paper's designs. Registry additions (see Designs) are not
+// part of the figure set.
 var CIMDesigns = []Design{BaselineEPCM, TacitEPCM, EinsteinBarrier}
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer: the registered canonical name, which
+// ParseDesign inverts. Unregistered values print as Design(n).
 func (d Design) String() string {
-	switch d {
-	case BaselineEPCM:
-		return "Baseline-ePCM"
-	case TacitEPCM:
-		return "TacitMap-ePCM"
-	case EinsteinBarrier:
-		return "EinsteinBarrier"
-	default:
-		return fmt.Sprintf("Design(%d)", int(d))
+	if s, err := d.Spec(); err == nil {
+		return s.Name
 	}
+	return fmt.Sprintf("Design(%d)", int(d))
 }
 
-// Tech returns the VCore technology of the design.
+// Tech returns the VCore technology of the design (ePCM for
+// unregistered handles).
 func (d Design) Tech() device.Technology {
-	if d == EinsteinBarrier {
-		return device.OPCM
+	if s, err := d.Spec(); err == nil {
+		return s.Tech
 	}
 	return device.EPCM
 }
@@ -148,12 +147,18 @@ func (c Config) WeightCapacityBits() int64 {
 func (c Config) ADCRoundsPerVMM() int { return c.ColumnsPerADC }
 
 // EffectiveK returns the WDM capacity available to a design: 1 on
-// electronic designs (no frequency dimension), K on EinsteinBarrier.
+// electronic designs (no frequency dimension), the architecture's K on
+// WDM designs, or the design's own capacity when its spec overrides it
+// (wide-K variants).
 func (c Config) EffectiveK(d Design) int {
-	if d == EinsteinBarrier {
-		return c.WDMCapacity
+	s, err := d.Spec()
+	if err != nil || !s.WDM {
+		return 1
 	}
-	return 1
+	if s.WDMCapacity > 0 {
+		return s.WDMCapacity
+	}
+	return c.WDMCapacity
 }
 
 // VCoreID identifies one crossbar in the hierarchy.

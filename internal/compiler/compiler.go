@@ -48,8 +48,15 @@ type Compiled struct {
 	WeightWrites int64
 }
 
-// Compile lowers model onto cfg for the given design.
+// Compile lowers model onto cfg for the given design, resolved through
+// the arch design registry (mapping strategy, WDM capability, cell
+// density and architecture hooks all come from the registered spec).
 func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, error) {
+	spec, err := design.Spec()
+	if err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	cfg = spec.EffectiveArch(cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,7 +81,7 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 		la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
 		switch lc.Kind {
 		case "binary":
-			ins, a, err := lowerBinary(lc, cfg, design, k, avgHops)
+			ins, a, err := lowerBinary(lc, cfg, spec, k, avgHops)
 			if err != nil {
 				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
 			}
@@ -83,15 +90,16 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 			prog = append(prog, ins...)
 			c.WeightWrites += int64(2 * lc.Work.N * lc.Work.M)
 		case "fp":
-			ins, a, err := lowerFP(lc, cfg, design, k, avgHops)
+			ins, a, err := lowerFP(lc, cfg, spec, k, avgHops)
 			if err != nil {
 				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
 			}
 			la = a
 			la.FirstVCore = alloc(la.VCores)
 			prog = append(prog, ins...)
-			// Multi-bit weights: InputBits slices, 1 cell each.
-			c.WeightWrites += lc.MACs * int64(cfg.InputBits)
+			// Multi-bit weights: one cell per stored slice — InputBits
+			// slices on binary cells, fewer on multi-level cells.
+			c.WeightWrites += lc.MACs * int64(weightSlices(cfg, spec))
 		case "shape":
 			// Reshapes, pooling and binarization fuse into the producing
 			// layer's output path (OR-pooling and sign are single gates
@@ -117,13 +125,14 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 	return c, nil
 }
 
-// lowerBinary emits the instruction sequence of one binary layer.
-func lowerBinary(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops int) (isa.Program, LayerAlloc, error) {
+// lowerBinary emits the instruction sequence of one binary layer,
+// dispatching on the design's mapping strategy and WDM capability.
+func lowerBinary(lc bnn.LayerCost, cfg arch.Config, spec arch.DesignSpec, k, avgHops int) (isa.Program, LayerAlloc, error) {
 	w := lc.Work
 	la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
 	var prog isa.Program
-	switch design {
-	case arch.BaselineEPCM:
+	switch spec.Mapping {
+	case arch.MappingCust:
 		// CustBinaryMap: the 2T2R array has CrossbarCols/2 logical
 		// columns. The baseline serializes vector operations (paper
 		// §II: "at most one single vector operation at a time").
@@ -150,7 +159,7 @@ func lowerBinary(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHo
 				Op: isa.OpAdd, Count: int64(adds) * int64(w.Positions), Comment: lc.Name,
 			})
 		}
-	case arch.TacitEPCM, arch.EinsteinBarrier:
+	case arch.MappingTacit:
 		plan, err := core.PlanTacit(w.N, w.M, cfg.CrossbarRows, cfg.CrossbarCols)
 		if err != nil {
 			return nil, la, err
@@ -159,7 +168,7 @@ func lowerBinary(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHo
 		convs := int64(plan.ADCConversionsPerInput())
 		dacs := int64(plan.DACConversionsPerInput())
 		cells := 2 * int64(w.N) * int64(w.M) // [w;¬w] cells conducting per activation
-		if design == arch.EinsteinBarrier {
+		if spec.WDM {
 			repeats := int64(ceilDiv(w.Positions, k))
 			la.Steps = repeats
 			kEff := int64(min(k, w.Positions))
@@ -187,7 +196,7 @@ func lowerBinary(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHo
 			})
 		}
 	default:
-		return nil, la, fmt.Errorf("unknown design %v", design)
+		return nil, la, fmt.Errorf("unknown mapping %v", spec.Mapping)
 	}
 	prog = append(prog,
 		isa.Instruction{Op: isa.OpThresh, Count: int64(w.N) * int64(w.Positions), Comment: lc.Name},
@@ -196,14 +205,24 @@ func lowerBinary(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHo
 	return prog, la, nil
 }
 
+// weightSlices is the number of cells one multi-bit weight occupies:
+// InputBits slices on binary cells, packed BitsPerCell-per-device on
+// multi-level-cell designs (device/mlc.go).
+func weightSlices(cfg arch.Config, spec arch.DesignSpec) int {
+	return ceilDiv(cfg.InputBits, spec.BitsPerCell())
+}
+
 // lowerFP emits the instruction sequence of a high-precision layer.
 // FP layers run identically on every CIM design except for the VCore
 // technology: multi-bit weights are bit-sliced across columns and the
 // activations are bit-streamed (InputBits sequential binary VMMs with
-// shift-and-add), the standard PUMA/ISAAC scheme. The compiler may
-// replicate a first conv layer FPReplication× to process positions in
-// parallel; EinsteinBarrier additionally WDM-batches positions.
-func lowerFP(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops int) (isa.Program, LayerAlloc, error) {
+// shift-and-add), the standard PUMA/ISAAC scheme. MLC designs pack
+// BitsPerCell weight slices per device, shrinking the tile footprint
+// and the converted-column count (their cost hook prices the finer
+// readout). The compiler may replicate a first conv layer
+// FPReplication× to process positions in parallel; WDM designs
+// additionally batch positions across wavelengths.
+func lowerFP(lc bnn.LayerCost, cfg arch.Config, spec arch.DesignSpec, k, avgHops int) (isa.Program, LayerAlloc, error) {
 	la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
 	positions := max(lc.Work.Positions, 1)
 	// Layers with many positions (first conv layers) are replicated so
@@ -213,8 +232,9 @@ func lowerFP(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops i
 	if positions > 1 {
 		repl = min(cfg.FPReplication, positions)
 	}
-	// Tiles to hold the N×M weights at InputBits slices per weight.
-	perReplica := int64(lc.Work.N) * int64(lc.Work.M) * int64(cfg.InputBits)
+	slices := int64(weightSlices(cfg, spec))
+	// Tiles to hold the N×M weights at `slices` cells per weight.
+	perReplica := int64(lc.Work.N) * int64(lc.Work.M) * slices
 	tiles := int(ceilDiv64(perReplica, int64(cfg.CellsPerVCore())))
 	if tiles < 1 {
 		tiles = 1
@@ -223,12 +243,12 @@ func lowerFP(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops i
 	la.VCores = tiles
 
 	batched := ceilDiv(positions, repl)
-	if design == arch.EinsteinBarrier {
+	if spec.WDM {
 		batched = ceilDiv(batched, k)
 	}
 	la.Steps = int64(batched) * int64(cfg.InputBits)
 	bits := int64(cfg.InputBits)
-	// Per repeat: every replica fires once per input-bit step — N·bits
+	// Per repeat: every replica fires once per input-bit step — N·slices
 	// occupied columns convert on each of the bits steps.
 	prog := isa.Program{
 		isa.Instruction{
@@ -236,9 +256,9 @@ func lowerFP(lc bnn.LayerCost, cfg arch.Config, design arch.Design, k, avgHops i
 			// K doubles as the input-stream (replica) count for FPMVM:
 			// each replica needs its own modulated transmitter stream.
 			K:       repl,
-			Convs:   int64(lc.Work.N) * bits * bits * int64(repl),
+			Convs:   int64(lc.Work.N) * slices * bits * int64(repl),
 			DACs:    int64(lc.Work.M) * bits * int64(repl),
-			Cells:   int64(lc.Work.N) * int64(lc.Work.M) * bits * int64(repl),
+			Cells:   int64(lc.Work.N) * int64(lc.Work.M) * slices * int64(repl),
 			Count:   int64(min(lc.Work.M, cfg.CrossbarRows)),
 			Comment: lc.Name,
 		},

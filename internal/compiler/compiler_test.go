@@ -202,3 +202,39 @@ func TestEBNeverExceedsTacitVCores(t *testing.T) {
 		}
 	}
 }
+
+// TestMLCDesignPacksFPWeights: the multi-level design stores two weight
+// slices per cell, so its high-precision layers program half the cells
+// (fewer weight writes) in at most the tile footprint of the binary-cell
+// design — while binary layers keep the 2-cell [w;¬w] mapping untouched.
+func TestMLCDesignPacksFPWeights(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m, err := bnn.NewModel("CNN-S", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tacit, err := Compile(m, cfg, arch.TacitEPCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlc, err := Compile(m, cfg, arch.MLCEPCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlc.WeightWrites >= tacit.WeightWrites {
+		t.Fatalf("MLC weight writes %d not below Tacit %d", mlc.WeightWrites, tacit.WeightWrites)
+	}
+	for i, ta := range tacit.Allocs {
+		ma := mlc.Allocs[i]
+		switch ta.Kind {
+		case "binary":
+			if ma.VCores != ta.VCores || ma.Steps != ta.Steps {
+				t.Fatalf("binary layer %s changed under MLC: %+v vs %+v", ta.Name, ma, ta)
+			}
+		case "fp":
+			if ma.VCores > ta.VCores {
+				t.Fatalf("fp layer %s grew under MLC: %d > %d tiles", ta.Name, ma.VCores, ta.VCores)
+			}
+		}
+	}
+}

@@ -68,6 +68,19 @@ func (p MLCParams) LevelValue(l int) float64 {
 	return p.Low + float64(l)*step
 }
 
+// BitsPerCell returns how many weight-bit slices one L-level cell
+// stores: floor(log2(Levels)) — 1 for binary operation, 2 for the
+// four-level population, and so on. This is the density lever a
+// multi-level design buys with its decode-error budget (see
+// RobustLevelLimit).
+func (p MLCParams) BitsPerCell() int {
+	bits := int(math.Floor(math.Log2(float64(p.Levels))))
+	if bits < 1 {
+		return 1
+	}
+	return bits
+}
+
 // LevelGap returns the spacing between adjacent nominal levels.
 func (p MLCParams) LevelGap() float64 {
 	return (p.High - p.Low) / float64(p.Levels-1)

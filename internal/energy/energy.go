@@ -144,6 +144,19 @@ func (c CostParams) Validate() error {
 	return nil
 }
 
+// WithADCResolutionScale returns a copy of the table with the
+// electronic readout scaled for a higher-resolution conversion: a
+// design that decodes more levels per cell (see device.MLCParams)
+// needs extra ADC bits, which cost conversion time (latFactor) and
+// energy (energyFactor — each extra SAR bit roughly doubles the
+// converter energy). This is the standard cost hook for registry
+// designs that trade cell density against readout precision.
+func (c CostParams) WithADCResolutionScale(latFactor, energyFactor float64) CostParams {
+	c.ADCENs *= latFactor
+	c.ADCEPJ *= energyFactor
+	return c
+}
+
 // VMMStepENs is the latency of one ePCM TacitMap VMM step including the
 // shared-ADC readout rounds.
 func (c CostParams) VMMStepENs(adcRounds int) float64 {

@@ -94,3 +94,21 @@ func TestBreakdownTotalAndAdd(t *testing.T) {
 		t.Fatalf("Add/TotalPJ = %g", b.TotalPJ())
 	}
 }
+
+func TestWithADCResolutionScale(t *testing.T) {
+	base := DefaultCostParams()
+	scaled := base.WithADCResolutionScale(1.5, 2)
+	if scaled.ADCENs != 1.5*base.ADCENs || scaled.ADCEPJ != 2*base.ADCEPJ {
+		t.Fatalf("ADC scaling wrong: %g/%g", scaled.ADCENs, scaled.ADCEPJ)
+	}
+	// Everything else untouched, and the base is not mutated.
+	if scaled.ADCONs != base.ADCONs || scaled.SettleENs != base.SettleENs {
+		t.Fatal("unrelated fields changed")
+	}
+	if base.ADCENs != DefaultCostParams().ADCENs {
+		t.Fatal("receiver mutated")
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

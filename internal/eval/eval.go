@@ -35,6 +35,21 @@ type Config struct {
 	// means one worker per available CPU; 1 forces the serial path. The
 	// report is bit-identical at any worker count.
 	Workers int
+	// Designs selects the CIM designs to evaluate, resolved through the
+	// arch design registry. Nil means the paper's Fig. 7/8 set
+	// (arch.CIMDesigns). The paper's three designs must be included —
+	// the figure series are normalized to Baseline-ePCM — but any
+	// registered design may ride along and lands in
+	// NetworkResult.Results.
+	Designs []arch.Design
+}
+
+// designs returns the evaluated design set.
+func (c Config) designs() []arch.Design {
+	if len(c.Designs) == 0 {
+		return arch.CIMDesigns
+	}
+	return c.Designs
 }
 
 // DefaultConfig returns the calibrated evaluation defaults.
@@ -97,9 +112,27 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	nd := len(arch.CIMDesigns)
+	designs := cfg.designs()
+	for _, need := range arch.CIMDesigns {
+		found := false
+		for _, d := range designs {
+			if d == need {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("eval: design set must include %v (figure series are normalized to it)", need)
+		}
+	}
+	for _, d := range designs {
+		if _, err := d.Spec(); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+	}
+	nd := len(designs)
 	results, err := infer.Map(cfg.Workers, len(models)*nd, func(_, j int) (*sim.Result, error) {
-		m, d := models[j/nd], arch.CIMDesigns[j%nd]
+		m, d := models[j/nd], designs[j%nd]
 		c, err := compiler.Compile(m, cfg.Arch, d)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
@@ -116,7 +149,7 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{Config: cfg}
 	for mi, m := range models {
 		byDesign := make(map[arch.Design]*sim.Result, nd)
-		for di, d := range arch.CIMDesigns {
+		for di, d := range designs {
 			byDesign[d] = results[mi*nd+di]
 		}
 		nr := NetworkResult{

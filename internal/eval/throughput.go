@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/infer"
+	"einsteinbarrier/internal/sim"
+)
+
+// Batch-throughput evaluation: the paper's Fig. 7/8 price a single
+// inference; the pipelined engine (internal/sim/engine.go) additionally
+// streams batches through the tile pipeline. ThroughputAt sweeps batch
+// sizes for every network×design pair and reports inferences/s — the
+// serving-oriented metric the latency figures cannot show.
+
+// ThroughputPoint is one batch size of a sweep.
+type ThroughputPoint struct {
+	// Batch is the number of inferences in flight.
+	Batch int `json:"batch"`
+	// PerSec is the achieved throughput Batch/makespan.
+	PerSec float64 `json:"inferences_per_sec"`
+	// MakespanNs is when the last sample's logits reach the host.
+	MakespanNs float64 `json:"makespan_ns"`
+}
+
+// ThroughputResult is the batch sweep of one network on one design.
+type ThroughputResult struct {
+	Network string
+	Design  arch.Design
+	// LatencyNs is the single-inference critical path (identical to the
+	// Fig. 7 series).
+	LatencyNs float64
+	// SteadyStatePerSec is the pipeline's analytic throughput ceiling;
+	// BottleneckName names the saturated resource (stage, mesh link or
+	// chip port).
+	SteadyStatePerSec float64
+	BottleneckName    string
+	// Points holds the sweep, in the requested batch order.
+	Points []ThroughputPoint
+}
+
+// ThroughputAt runs the batch sweep for every zoo network on every
+// given design (nil means all registered designs). Jobs fan out over
+// cfg.Workers like Run; the engine is deterministic, so results are
+// bit-identical at any worker count.
+func ThroughputAt(cfg Config, designs []arch.Design, batches []int) ([]ThroughputResult, error) {
+	if len(designs) == 0 {
+		designs = arch.Designs()
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("eval: no batch sizes given")
+	}
+	for _, b := range batches {
+		if b < 1 {
+			return nil, fmt.Errorf("eval: batch size %d must be ≥ 1", b)
+		}
+	}
+	for _, d := range designs {
+		if _, err := d.Spec(); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+	}
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
+	models, err := bnn.Zoo(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nd := len(designs)
+	return infer.Map(cfg.Workers, len(models)*nd, func(_, j int) (ThroughputResult, error) {
+		m, d := models[j/nd], designs[j%nd]
+		out := ThroughputResult{Network: m.Name(), Design: d}
+		c, err := compiler.Compile(m, cfg.Arch, d)
+		if err != nil {
+			return out, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
+		}
+		eng, err := simulator.NewEngine(c)
+		if err != nil {
+			return out, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
+		}
+		for _, b := range batches {
+			br, err := eng.RunBatch(b)
+			if err != nil {
+				return out, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
+			}
+			out.LatencyNs = br.LatencyNs
+			out.SteadyStatePerSec = br.SteadyStatePerSec
+			out.BottleneckName = br.BottleneckName
+			out.Points = append(out.Points, ThroughputPoint{
+				Batch: b, PerSec: br.ThroughputPerSec, MakespanNs: br.MakespanNs,
+			})
+		}
+		return out, nil
+	})
+}
+
+// ThroughputTable renders a sweep as an aligned text table, one row per
+// network×design, one column per batch size.
+func ThroughputTable(rows []ThroughputResult) string {
+	var sb strings.Builder
+	sb.WriteString("Pipelined batch throughput (inferences/s)\n")
+	if len(rows) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-8s %-20s", "network", "design")
+	for _, p := range rows[0].Points {
+		fmt.Fprintf(&sb, " %11s", fmt.Sprintf("B=%d", p.Batch))
+	}
+	fmt.Fprintf(&sb, " %12s  %s\n", "ceiling", "bottleneck")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-20v", r.Network, r.Design)
+		for _, p := range r.Points {
+			fmt.Fprintf(&sb, " %11.0f", p.PerSec)
+		}
+		fmt.Fprintf(&sb, " %12.0f  %s\n", r.SteadyStatePerSec, r.BottleneckName)
+	}
+	return sb.String()
+}
+
+// WriteThroughputCSV emits one row per network×design×batch.
+func WriteThroughputCSV(w io.Writer, rows []ThroughputResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"network", "design", "batch", "inferences_per_sec", "makespan_ns",
+		"latency_ns", "steady_state_per_sec", "bottleneck",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range rows {
+		for _, p := range r.Points {
+			if err := cw.Write([]string{
+				r.Network, r.Design.String(), strconv.Itoa(p.Batch),
+				f(p.PerSec), f(p.MakespanNs),
+				f(r.LatencyNs), f(r.SteadyStatePerSec), r.BottleneckName,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonThroughputRow is the serialized shape of one sweep row.
+type jsonThroughputRow struct {
+	Network           string            `json:"network"`
+	Design            string            `json:"design"`
+	LatencyNs         float64           `json:"latency_ns"`
+	SteadyStatePerSec float64           `json:"steady_state_per_sec"`
+	Bottleneck        string            `json:"bottleneck"`
+	Points            []ThroughputPoint `json:"points"`
+}
+
+// WriteThroughputJSON emits the sweep as indented JSON.
+func WriteThroughputJSON(w io.Writer, rows []ThroughputResult) error {
+	out := make([]jsonThroughputRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, jsonThroughputRow{
+			Network:           r.Network,
+			Design:            r.Design.String(),
+			LatencyNs:         r.LatencyNs,
+			SteadyStatePerSec: r.SteadyStatePerSec,
+			Bottleneck:        r.BottleneckName,
+			Points:            r.Points,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

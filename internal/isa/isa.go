@@ -200,6 +200,39 @@ func (p Program) String() string {
 	return sb.String()
 }
 
+// Section is one SYNC-delimited slice of a program — the unit the
+// pipelined simulator schedules as a stage. Name is the SYNC barrier's
+// comment (the compiler stamps the layer name); Ins holds the section's
+// instructions including the closing SYNC. Trailing instructions after
+// the last SYNC (typically just HALT) form an unnamed final section.
+type Section struct {
+	Name string
+	Ins  Program
+}
+
+// Sections splits the program at its SYNC barriers. Unnamed barriers
+// get deterministic "section-i" labels, mirroring the simulator's
+// per-layer report.
+func (p Program) Sections() []Section {
+	var out []Section
+	start := 0
+	for i, in := range p {
+		if in.Op != OpSync {
+			continue
+		}
+		name := in.Comment
+		if name == "" {
+			name = fmt.Sprintf("section-%d", len(out))
+		}
+		out = append(out, Section{Name: name, Ins: p[start : i+1]})
+		start = i + 1
+	}
+	if start < len(p) {
+		out = append(out, Section{Ins: p[start:]})
+	}
+	return out
+}
+
 // --- binary encoding ----------------------------------------------------
 
 // Encode serializes the program (without comments) as a compact byte

@@ -181,3 +181,39 @@ func TestStringContainsOperands(t *testing.T) {
 		}
 	}
 }
+
+func TestSections(t *testing.T) {
+	p := Program{
+		{Op: OpMVM, Tiles: 1, Repeat: 1},
+		{Op: OpSend, Bytes: 8},
+		{Op: OpSync, Comment: "layer-a"},
+		{Op: OpMMM, Tiles: 2, K: 4, Repeat: 1},
+		{Op: OpSync}, // unnamed
+		{Op: OpHalt},
+	}
+	secs := p.Sections()
+	if len(secs) != 3 {
+		t.Fatalf("got %d sections, want 3", len(secs))
+	}
+	if secs[0].Name != "layer-a" || len(secs[0].Ins) != 3 {
+		t.Fatalf("section 0 wrong: %q, %d instructions", secs[0].Name, len(secs[0].Ins))
+	}
+	if secs[0].Ins[len(secs[0].Ins)-1].Op != OpSync {
+		t.Fatal("section must include its closing SYNC")
+	}
+	if secs[1].Name != "section-1" {
+		t.Fatalf("unnamed barrier should get a deterministic label, got %q", secs[1].Name)
+	}
+	// Trailing HALT forms the unnamed final section.
+	if secs[2].Name != "" || len(secs[2].Ins) != 1 || secs[2].Ins[0].Op != OpHalt {
+		t.Fatalf("trailing section wrong: %+v", secs[2])
+	}
+	// Sections cover the program exactly, in order.
+	total := 0
+	for _, s := range secs {
+		total += len(s.Ins)
+	}
+	if total != len(p) {
+		t.Fatalf("sections cover %d of %d instructions", total, len(p))
+	}
+}

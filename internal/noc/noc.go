@@ -95,6 +95,62 @@ func (c Config) Transfer(bytes int64, hops, chipHops int) (latencyNs, energyPJ f
 	return latencyNs, energyPJ, nil
 }
 
+// Link is one directed mesh edge between adjacent tiles, identified by
+// the node-local tile indices it connects. Links are the contention
+// resource of the pipeline engine: two transfers crossing the same
+// directed edge serialize.
+type Link struct{ From, To int }
+
+// RouteXY returns the directed links of the XY (dimension-ordered)
+// route between two node-local tiles: all X hops first, then Y — the
+// same deterministic routing the Hops metric assumes. An empty route
+// means source and destination share a tile.
+func (c Config) RouteXY(a, b int) ([]Link, error) {
+	ca, err := c.TileCoord(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := c.TileCoord(b)
+	if err != nil {
+		return nil, err
+	}
+	var route []Link
+	cur := ca
+	step := func(next Coord) {
+		route = append(route, Link{From: cur.Y*c.MeshWidth + cur.X, To: next.Y*c.MeshWidth + next.X})
+		cur = next
+	}
+	for cur.X != cb.X {
+		next := cur
+		if cb.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		step(next)
+	}
+	for cur.Y != cb.Y {
+		next := cur
+		if cb.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		step(next)
+	}
+	return route, nil
+}
+
+// SerializationNs is how long a transfer of the given size occupies
+// each link on its route: the wormhole body streams one flit per
+// hop-cycle, so the edge is busy for flits × hop latency.
+func (c Config) SerializationNs(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return math.Ceil(float64(bytes)/float64(c.FlitBytes)) * c.HopLatencyNs
+}
+
 // AverageHops returns the expected hop count between two uniformly
 // random distinct tiles of the mesh — the allocator's estimate when the
 // placement is not yet known.

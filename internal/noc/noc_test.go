@@ -131,3 +131,48 @@ func TestAverageHops(t *testing.T) {
 		t.Fatal("average hops must grow with mesh size")
 	}
 }
+
+func TestRouteXYMatchesHops(t *testing.T) {
+	c := DefaultConfig(4)
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			route, err := c.RouteXY(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops, err := c.Hops(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(route) != hops {
+				t.Fatalf("route %d->%d has %d links, Hops says %d", a, b, len(route), hops)
+			}
+			// The route is connected: each link starts where the previous
+			// ended, from a and into b.
+			cur := a
+			for _, l := range route {
+				if l.From != cur {
+					t.Fatalf("route %d->%d broken at link %+v (cur %d)", a, b, l, cur)
+				}
+				cur = l.To
+			}
+			if hops > 0 && cur != b {
+				t.Fatalf("route %d->%d ends at %d", a, b, cur)
+			}
+		}
+	}
+	if _, err := c.RouteXY(-1, 3); err == nil {
+		t.Fatal("bad tile must error")
+	}
+}
+
+func TestSerializationNs(t *testing.T) {
+	c := DefaultConfig(4)
+	if got := c.SerializationNs(0); got != 0 {
+		t.Fatalf("zero bytes serialize in %g ns", got)
+	}
+	// 33 bytes over 32-byte flits = 2 flits × 1 ns/hop.
+	if got := c.SerializationNs(33); got != 2*c.HopLatencyNs {
+		t.Fatalf("33 bytes: %g ns", got)
+	}
+}

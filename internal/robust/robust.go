@@ -21,6 +21,7 @@ import (
 	"einsteinbarrier/internal/crossbar"
 	"einsteinbarrier/internal/dataset"
 	"einsteinbarrier/internal/device"
+	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/tensor"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	WDM int
 	// Faults, when non-zero, injects stuck-at defects into every tile.
 	Faults crossbar.FaultModel
+	// Workers bounds the sweep fan-out: every corner of a sweep is an
+	// independent job (its own mapped arrays, its own model clone) on
+	// an infer.Map worker pool. 0 (the default) means one worker per
+	// available CPU; 1 forces the serial path. Sweep results are
+	// bit-identical at any worker count — corners are seeded
+	// independently.
+	Workers int
 }
 
 // DefaultConfig returns the default hardware corner for a technology.
@@ -293,13 +301,41 @@ type SweepPoint struct {
 	Agreement Agreement
 }
 
+// sweep fans corner evaluations out over base.Workers goroutines.
+// Every corner maps its own HardwareModel and compares against a
+// per-worker CloneShared copy of the software model (neither a mapped
+// layer's scratch nor a model's forward scratch is safe to share), so
+// parallel results are bit-identical to the serial path.
+func sweep(model *bnn.Model, samples []dataset.Sample, base Config, n int,
+	corner func(i int) (string, Config, func(*HardwareModel))) ([]SweepPoint, error) {
+	clones := make([]*bnn.Model, infer.Workers(base.Workers, n))
+	return infer.Map(base.Workers, n, func(w, i int) (SweepPoint, error) {
+		label, cfg, prep := corner(i)
+		hw, err := Map(model, cfg)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		if prep != nil {
+			prep(hw)
+		}
+		if clones[w] == nil {
+			clones[w] = model.CloneShared()
+		}
+		a, err := Compare(clones[w], hw, samples)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{Label: label, Agreement: a}, nil
+	})
+}
+
 // NoiseSweep evaluates prediction agreement across programming-spread
 // corners — the quantitative §II-C story: agreement stays ~1.0 in the
 // binary-robust regime and collapses as the spread approaches the
 // read window.
 func NoiseSweep(model *bnn.Model, samples []dataset.Sample, base Config, sigmas []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, sigma := range sigmas {
+	return sweep(model, samples, base, len(sigmas), func(i int) (string, Config, func(*HardwareModel)) {
+		sigma := sigmas[i]
 		cfg := base
 		switch cfg.Array.Tech {
 		case device.EPCM:
@@ -307,17 +343,8 @@ func NoiseSweep(model *bnn.Model, samples []dataset.Sample, base Config, sigmas 
 		case device.OPCM:
 			cfg.Array.OPCM.ProgramSigma = sigma
 		}
-		hw, err := Map(model, cfg)
-		if err != nil {
-			return nil, err
-		}
-		a, err := Compare(model, hw, samples)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("sigma=%g", sigma), Agreement: a})
-	}
-	return out, nil
+		return fmt.Sprintf("sigma=%g", sigma), cfg, nil
+	})
 }
 
 // AgeAll advances every mapped layer's device age (ePCM drift study;
@@ -334,37 +361,18 @@ func (h *HardwareModel) AgeAll(seconds float64) {
 // should hold across any realistic refresh interval — quantifying why
 // the binary design point also neutralizes the drift challenge.
 func DriftSweep(model *bnn.Model, samples []dataset.Sample, base Config, ages []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, age := range ages {
-		hw, err := Map(model, base)
-		if err != nil {
-			return nil, err
-		}
-		hw.AgeAll(age)
-		a, err := Compare(model, hw, samples)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("age=%gs", age), Agreement: a})
-	}
-	return out, nil
+	return sweep(model, samples, base, len(ages), func(i int) (string, Config, func(*HardwareModel)) {
+		age := ages[i]
+		return fmt.Sprintf("age=%gs", age), base, func(hw *HardwareModel) { hw.AgeAll(age) }
+	})
 }
 
 // FaultSweep evaluates prediction agreement across defect densities.
 func FaultSweep(model *bnn.Model, samples []dataset.Sample, base Config, rates []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, rate := range rates {
+	return sweep(model, samples, base, len(rates), func(i int) (string, Config, func(*HardwareModel)) {
+		rate := rates[i]
 		cfg := base
 		cfg.Faults = crossbar.FaultModel{StuckOnRate: rate / 2, StuckOffRate: rate / 2, Seed: 99}
-		hw, err := Map(model, cfg)
-		if err != nil {
-			return nil, err
-		}
-		a, err := Compare(model, hw, samples)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("defects=%g", rate), Agreement: a})
-	}
-	return out, nil
+		return fmt.Sprintf("defects=%g", rate), cfg, nil
+	})
 }

@@ -1,6 +1,7 @@
 package robust
 
 import (
+	"reflect"
 	"testing"
 
 	"einsteinbarrier/internal/bnn"
@@ -195,5 +196,38 @@ func TestDriftDoesNotBreakBinary(t *testing.T) {
 		if p.Agreement.MatchRate() < 1.0 {
 			t.Fatalf("%s: drift broke agreement (%.3f)", p.Label, p.Agreement.MatchRate())
 		}
+	}
+}
+
+// TestSweepsParallelBitIdenticalToSerial: every sweep fans corners out
+// over the Config.Workers pool; the parallel results must match the
+// serial (Workers = 1) path exactly — corners are independently seeded
+// and each worker compares against its own model clone.
+func TestSweepsParallelBitIdenticalToSerial(t *testing.T) {
+	model, test := trainedModel(t)
+	if len(test) > 24 {
+		test = test[:24]
+	}
+	run := func(workers int) [][]SweepPoint {
+		serial := DefaultConfig(device.EPCM)
+		serial.Workers = workers
+		noise, err := NoiseSweep(model, test, serial, []float64{0.01, 0.1, 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults, err := FaultSweep(model, test, serial, []float64{0.01, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drift, err := DriftSweep(model, test, serial, []float64{0, 86400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [][]SweepPoint{noise, faults, drift}
+	}
+	want := run(1)
+	got := run(4)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("parallel sweeps differ from serial:\nserial: %+v\nparallel: %+v", want, got)
 	}
 }

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/noc"
+)
+
+// Tile-level pipelined batch engine. Run prices ONE inference as a
+// serial critical path — the Fig. 7 latency. A spatial architecture
+// additionally overlaps consecutive inferences: every SYNC-delimited
+// layer section owns its own tiles, so once sample i leaves a section,
+// sample i+1 can enter it, and the activations of different samples
+// contend for the same NoC links. The Engine models that as a
+// discrete-event pipeline: stages are the SYNC sections (service time =
+// the section's tile-resident critical path, priced by the exact same
+// arithmetic as Run), resources are the tile spans the compiler
+// allocated and the directed mesh links (plus chip-egress ports) the
+// inter-stage transfers traverse. B samples stream through in order;
+// the engine reports the fill latency (B = 1, bit-identical to Run),
+// the makespan, the achieved throughput, and the analytic steady-state
+// bound set by the busiest resource.
+//
+// This goes beyond the paper's latency-only evaluation and is
+// documented as an extension in DESIGN.md.
+
+// linkKey identifies one contention resource of the interconnect: a
+// directed mesh edge inside one node.
+type linkKey struct {
+	node     int
+	from, to int
+}
+
+// engineStage is one executable pipeline stage.
+type engineStage struct {
+	name      string
+	serviceNs float64 // tile-resident time per sample (analog+digital+SYNC)
+	sendLatNs float64 // head latency of the output transfer
+	sendSerNs float64 // per-link serialization occupancy of the transfer
+	chipSerNs float64 // chip-egress occupancy (0 when the send stays on-node)
+	firstTile int     // global tile span owned by the stage
+	lastTile  int
+	links     []linkKey // mesh links of the XY route to the next stage
+	chipNode  int       // node whose chip-egress port the send uses, -1 if none
+	conflicts []int     // indices of other stages sharing a tile with this one
+}
+
+// Engine schedules batches of inferences over the pipeline of one
+// compiled model. Build one with NewEngine; an Engine is immutable
+// after construction and safe for concurrent RunBatch calls only if
+// each caller uses its own Engine (RunBatch carries internal scratch).
+type Engine struct {
+	res    *Result
+	stages []engineStage
+	mesh   noc.Config
+	// scratch reused across RunBatch calls.
+	tileFree []float64
+	linkFree map[linkKey]float64
+	chipFree map[int]float64
+	busyNs   []float64
+}
+
+// NewEngine lowers a compiled model into pipeline stages. The embedded
+// single-inference Result is priced by the same pass Run uses, so
+// Latency/Energy/Counters are bit-identical to the serial simulator.
+func (s *Simulator) NewEngine(c *compiler.Compiled) (*Engine, error) {
+	res, costs, err := s.price(c)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := c.Design.Spec()
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.EffectiveArch(s.cfg)
+	mesh, err := s.designMesh(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(costs) == 0 {
+		return nil, fmt.Errorf("sim: program has no pipeline stages")
+	}
+	// Tile spans come from the compiler's allocation: the i-th stage is
+	// the i-th VCore-owning layer (shape layers fuse into their
+	// producer and own no section).
+	spans := make([]compiler.LayerAlloc, 0, len(costs))
+	for _, a := range c.Allocs {
+		if a.Kind == "shape" {
+			continue
+		}
+		spans = append(spans, a)
+	}
+	if len(spans) != len(costs) {
+		return nil, fmt.Errorf("sim: %d pipeline stages but %d placed layers", len(costs), len(spans))
+	}
+	vcoresPerTile := cfg.ECoresPerTile * cfg.VCoresPerECore
+	e := &Engine{res: res, mesh: mesh,
+		linkFree: make(map[linkKey]float64), chipFree: make(map[int]float64)}
+	e.stages = make([]engineStage, len(costs))
+	for i, sc := range costs {
+		a := spans[i]
+		first := a.FirstVCore / vcoresPerTile
+		last := first
+		if a.VCores > 0 {
+			last = (a.FirstVCore + a.VCores - 1) / vcoresPerTile
+		}
+		st := engineStage{
+			name:      sc.name,
+			serviceNs: sc.serviceNs,
+			sendLatNs: sc.sendLatNs,
+			firstTile: first,
+			lastTile:  last,
+			chipNode:  -1,
+		}
+		if sc.sendBytes > 0 {
+			st.sendSerNs = mesh.SerializationNs(sc.sendBytes)
+			srcNode, srcTile := first/cfg.TilesPerNode, first%cfg.TilesPerNode
+			if i+1 < len(costs) {
+				dstFirst := spans[i+1].FirstVCore / vcoresPerTile
+				dstNode, dstTile := dstFirst/cfg.TilesPerNode, dstFirst%cfg.TilesPerNode
+				links, err := mesh.RouteXY(srcTile, dstTile)
+				if err != nil {
+					return nil, err
+				}
+				for _, l := range links {
+					st.links = append(st.links, linkKey{node: srcNode, from: l.From, to: l.To})
+				}
+				if dstNode != srcNode {
+					st.chipNode = srcNode
+					st.chipSerNs = mesh.ChipHopNs
+				}
+			} else {
+				// The last stage delivers logits to the host through its
+				// node's chip-egress port.
+				st.chipNode = srcNode
+				st.chipSerNs = mesh.ChipHopNs
+			}
+		}
+		e.stages[i] = st
+	}
+	// Stages whose tile spans overlap (the linear allocator packs layer
+	// boundaries into shared tiles) cannot compute concurrently.
+	for i := range e.stages {
+		for j := range e.stages {
+			if i == j {
+				continue
+			}
+			if e.stages[i].firstTile <= e.stages[j].lastTile &&
+				e.stages[j].firstTile <= e.stages[i].lastTile {
+				e.stages[i].conflicts = append(e.stages[i].conflicts, j)
+			}
+		}
+	}
+	e.tileFree = make([]float64, len(e.stages))
+	e.busyNs = make([]float64, len(e.stages))
+	return e, nil
+}
+
+// Result returns the embedded single-inference pricing (bit-identical
+// to Simulator.Run on the same compilation).
+func (e *Engine) Result() *Result { return e.res }
+
+// StageCount returns the pipeline depth.
+func (e *Engine) StageCount() int { return len(e.stages) }
+
+// StageOccupancy is one stage's utilization in a batch run.
+type StageOccupancy struct {
+	Name      string
+	ServiceNs float64 // per-sample tile-resident service time
+	SendNs    float64 // per-sample transfer head latency
+	Tiles     int     // tile span owned by the stage
+	Busy      float64 // fraction of the makespan the stage's tiles are busy
+}
+
+// BatchResult is the outcome of streaming a batch through the pipeline.
+type BatchResult struct {
+	// ModelName, Design and Batch echo the inputs.
+	ModelName string
+	Design    arch.Design
+	Batch     int
+	// LatencyNs is the single-inference critical path — identical to
+	// Simulator.Run (and to the Fig. 7 series) by construction.
+	LatencyNs float64
+	// MakespanNs is when the last sample's logits reach the host.
+	MakespanNs float64
+	// ThroughputPerSec is Batch / Makespan.
+	ThroughputPerSec float64
+	// SteadyStatePerSec is the analytic throughput ceiling: the busiest
+	// resource (tile span, mesh link or chip port) bounds the
+	// per-sample interval at saturation.
+	SteadyStatePerSec float64
+	// BottleneckName names that resource.
+	BottleneckName string
+	// BottleneckNs is its per-sample busy time.
+	BottleneckNs float64
+	// LinkWaitNs is the total time samples stalled on busy NoC links —
+	// the contention the serial simulator cannot see.
+	LinkWaitNs float64
+	// EnergyPJPerInference is the per-sample energy (batch-invariant:
+	// optical power is duty-cycled per activation).
+	EnergyPJPerInference float64
+	// Stages is the per-stage utilization.
+	Stages []StageOccupancy
+}
+
+// RunBatch streams a batch of b inferences through the pipeline and
+// returns the timing report. Deterministic: same engine, same b, same
+// result.
+func (e *Engine) RunBatch(b int) (*BatchResult, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("sim: batch size %d must be ≥ 1", b)
+	}
+	for i := range e.tileFree {
+		e.tileFree[i] = 0
+		e.busyNs[i] = 0
+	}
+	clear(e.linkFree)
+	clear(e.chipFree)
+
+	makespan := 0.0
+	linkWait := 0.0
+	for sample := 0; sample < b; sample++ {
+		t := 0.0 // completion time of the previous stage for this sample
+		for si := range e.stages {
+			st := &e.stages[si]
+			start := math.Max(t, e.tileFree[si])
+			for _, cj := range st.conflicts {
+				start = math.Max(start, e.tileFree[cj])
+			}
+			computeDone := start + st.serviceNs
+			e.tileFree[si] = computeDone
+			e.busyNs[si] += st.serviceNs
+			sendStart := computeDone
+			for _, l := range st.links {
+				sendStart = math.Max(sendStart, e.linkFree[l])
+			}
+			if st.chipNode >= 0 {
+				sendStart = math.Max(sendStart, e.chipFree[st.chipNode])
+			}
+			linkWait += sendStart - computeDone
+			for _, l := range st.links {
+				e.linkFree[l] = sendStart + st.sendSerNs
+			}
+			if st.chipNode >= 0 {
+				e.chipFree[st.chipNode] = sendStart + st.chipSerNs
+			}
+			t = sendStart + st.sendLatNs
+		}
+		makespan = t
+	}
+
+	out := &BatchResult{
+		ModelName:            e.res.ModelName,
+		Design:               e.res.Design,
+		Batch:                b,
+		LatencyNs:            e.res.LatencyNs,
+		MakespanNs:           makespan,
+		ThroughputPerSec:     float64(b) * 1e9 / makespan,
+		LinkWaitNs:           linkWait,
+		EnergyPJPerInference: e.res.EnergyPJ(),
+	}
+	out.BottleneckNs, out.BottleneckName = e.bottleneck()
+	out.SteadyStatePerSec = 1e9 / out.BottleneckNs
+	for si, st := range e.stages {
+		out.Stages = append(out.Stages, StageOccupancy{
+			Name:      st.name,
+			ServiceNs: st.serviceNs,
+			SendNs:    st.sendLatNs,
+			Tiles:     st.lastTile - st.firstTile + 1,
+			Busy:      e.busyNs[si] / makespan,
+		})
+	}
+	return out, nil
+}
+
+// bottleneck finds the resource with the largest per-sample busy time:
+// the steady-state inter-departure interval of the saturated pipeline.
+// Deterministic: ties resolve to the earliest stage/resource.
+func (e *Engine) bottleneck() (ns float64, name string) {
+	// Tile busy: stage spans are intervals over the global tile index,
+	// so the max per-tile service sum is the exact serialization bound
+	// (intervals that pairwise overlap share a common tile — Helly's
+	// theorem in one dimension — and stages sharing a tile cannot
+	// compute concurrently).
+	tileBusy := map[int]float64{}
+	maxTile := 0
+	for _, st := range e.stages {
+		for t := st.firstTile; t <= st.lastTile; t++ {
+			tileBusy[t] += st.serviceNs
+		}
+		maxTile = max(maxTile, st.lastTile)
+	}
+	bneckTile := -1
+	for t := 0; t <= maxTile; t++ {
+		if busy, ok := tileBusy[t]; ok && busy > ns {
+			ns, bneckTile = busy, t
+		}
+	}
+	if bneckTile >= 0 {
+		// Name the heaviest stage occupying the bottleneck tile.
+		heaviest := -1.0
+		for _, st := range e.stages {
+			if st.firstTile <= bneckTile && bneckTile <= st.lastTile && st.serviceNs > heaviest {
+				heaviest, name = st.serviceNs, st.name
+			}
+		}
+	}
+	// Mesh links and chip ports: transfers crossing the same edge
+	// serialize. Accumulate in first-seen order for determinism.
+	linkBusy := map[linkKey]float64{}
+	chipBusy := map[int]float64{}
+	var linkOrder []linkKey
+	var chipOrder []int
+	for _, st := range e.stages {
+		for _, l := range st.links {
+			if _, seen := linkBusy[l]; !seen {
+				linkOrder = append(linkOrder, l)
+			}
+			linkBusy[l] += st.sendSerNs
+		}
+		if st.chipNode >= 0 {
+			if _, seen := chipBusy[st.chipNode]; !seen {
+				chipOrder = append(chipOrder, st.chipNode)
+			}
+			chipBusy[st.chipNode] += st.chipSerNs
+		}
+	}
+	for _, l := range linkOrder {
+		if busy := linkBusy[l]; busy > ns {
+			ns, name = busy, fmt.Sprintf("link n%d:%d->%d", l.node, l.from, l.to)
+		}
+	}
+	for _, n := range chipOrder {
+		if busy := chipBusy[n]; busy > ns {
+			ns, name = busy, fmt.Sprintf("chip-egress n%d", n)
+		}
+	}
+	return ns, name
+}
