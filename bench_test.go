@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bitops"
@@ -36,6 +37,7 @@ import (
 	"einsteinbarrier/internal/eval"
 	"einsteinbarrier/internal/gpu"
 	"einsteinbarrier/internal/robust"
+	"einsteinbarrier/internal/serve"
 	"einsteinbarrier/internal/sim"
 	"einsteinbarrier/internal/tensor"
 )
@@ -339,6 +341,87 @@ func BenchmarkPipeline(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkServe measures the online serving subsystem end to end:
+// closed-loop clients stream requests through the admission queue and
+// the dynamic batcher into backend replicas. ns/op is the wall-clock
+// cost per served request; the req/s and mean-batch metrics show what
+// the scheduling policy achieved, and sim-inf/s is the per-batch
+// accelerator pricing of the stream — the online counterpart of the
+// offline BenchmarkPipeline numbers, which have no queueing, batching
+// or reply overhead.
+func BenchmarkServe(b *testing.B) {
+	model, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := serve.SyntheticInputs(784, 32, 9)
+	for _, maxBatch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("Software/MLP-S/maxB=%d", maxBatch), func(b *testing.B) {
+			backend, err := serve.NewSoftwareBackend(model, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := eval.Pipeline(eval.DefaultConfig(), model, arch.EinsteinBarrier)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pricer, err := serve.NewPricer(eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := serve.New(serve.Config{
+				Backend:  backend,
+				MaxBatch: maxBatch,
+				MaxWait:  100 * time.Microsecond,
+				Pricer:   pricer,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rep, err := serve.Run(s, serve.LoadConfig{
+				Clients: 2 * maxBatch, Requests: b.N, Seed: 9, Inputs: inputs,
+			})
+			b.StopTimer()
+			s.Stop()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.AchievedPerSec, "req/s")
+			b.ReportMetric(rep.Stats.MeanBatch, "mean-batch")
+			b.ReportMetric(rep.Stats.Latency.P99*1e6, "p99-ns")
+			if sim := rep.Stats.Sim; sim != nil {
+				b.ReportMetric(sim.PerSec, "sim-inf/s")
+			}
+		})
+	}
+	b.Run("Hardware/MLP-S/maxB=4", func(b *testing.B) {
+		hw, err := serve.NewHardwareBackend(model, robust.DefaultConfig(device.EPCM))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := serve.New(serve.Config{
+			Backend:  hw,
+			MaxBatch: 4,
+			MaxWait:  100 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		rep, err := serve.Run(s, serve.LoadConfig{
+			Clients: 8, Requests: b.N, Seed: 9, Inputs: inputs,
+		})
+		b.StopTimer()
+		s.Stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.AchievedPerSec, "req/s")
+		b.ReportMetric(rep.Stats.MeanBatch, "mean-batch")
+	})
 }
 
 // BenchmarkEvalRun measures the full Fig. 7/8 evaluation (compile +

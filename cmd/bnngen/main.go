@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,61 +22,75 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the zoo models")
-	model := flag.String("model", "", "inspect one model: "+strings.Join(bnn.ZooNames, ", "))
-	mapping := flag.String("map", "", "show crossbar tiling: tacit or cust")
-	train := flag.Bool("train", false, "train a demo BNN on synthetic digits")
-	seed := flag.Int64("seed", 1, "seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bnngen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: parses args, writes the report to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bnngen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "list the zoo models")
+	model := fs.String("model", "", "inspect one model: "+strings.Join(bnn.ZooNames, ", "))
+	mapping := fs.String("map", "", "show crossbar tiling: tacit or cust")
+	train := fs.Bool("train", false, "train a demo BNN on synthetic digits")
+	epochs := fs.Int("epochs", 12, "training epochs for -train")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch {
 	case *list:
-		listZoo(*seed)
+		return listZoo(out, *seed)
 	case *train:
-		trainDemo(*seed)
+		return trainDemo(out, *seed, *epochs)
 	case *model != "":
-		inspect(*model, *mapping, *seed)
+		return inspect(out, *model, *mapping, *seed)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -train or -model")
 	}
 }
 
-func listZoo(seed int64) {
+func listZoo(out io.Writer, seed int64) error {
 	models, err := bnn.Zoo(seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%-8s %14s %14s %14s %10s\n", "model", "binary ops", "fp MACs", "weight bits", "layers")
+	fmt.Fprintf(out, "%-8s %14s %14s %14s %10s\n", "model", "binary ops", "fp MACs", "weight bits", "layers")
 	for _, m := range models {
-		fmt.Printf("%-8s %14d %14d %14d %10d\n",
+		fmt.Fprintf(out, "%-8s %14d %14d %14d %10d\n",
 			m.Name(), m.TotalBinaryOps(), m.TotalFPMACs(), m.WeightBits(), len(m.Layers))
 	}
+	return nil
 }
 
-func inspect(name, mapping string, seed int64) {
+func inspect(out io.Writer, name, mapping string, seed int64) error {
 	m, err := bnn.NewModel(name, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := arch.DefaultConfig()
-	fmt.Printf("%s (input %v, %d classes)\n", m.Name(), m.InputShape, m.Classes)
-	fmt.Printf("%-14s %-7s %8s %8s %10s %14s\n", "layer", "kind", "n", "m", "positions", "ops")
+	fmt.Fprintf(out, "%s (input %v, %d classes)\n", m.Name(), m.InputShape, m.Classes)
+	fmt.Fprintf(out, "%-14s %-7s %8s %8s %10s %14s\n", "layer", "kind", "n", "m", "positions", "ops")
 	for _, c := range m.Costs() {
 		switch c.Kind {
 		case "binary", "fp":
-			fmt.Printf("%-14s %-7s %8d %8d %10d %14d\n",
+			fmt.Fprintf(out, "%-14s %-7s %8d %8d %10d %14d\n",
 				c.Name, c.Kind, c.Work.N, c.Work.M, c.Work.Positions,
 				c.Work.Ops()+c.MACs)
 		default:
-			fmt.Printf("%-14s %-7s\n", c.Name, c.Kind)
+			fmt.Fprintf(out, "%-14s %-7s\n", c.Name, c.Kind)
 		}
 	}
 	if mapping == "" {
-		return
+		return nil
 	}
-	fmt.Printf("\n%s tiling onto %dx%d arrays:\n", mapping, cfg.CrossbarRows, cfg.CrossbarCols)
-	fmt.Printf("%-14s %10s %10s %8s %16s\n", "layer", "row tiles", "col tiles", "arrays", "steps/input")
+	fmt.Fprintf(out, "\n%s tiling onto %dx%d arrays:\n", mapping, cfg.CrossbarRows, cfg.CrossbarCols)
+	fmt.Fprintf(out, "%-14s %10s %10s %8s %16s\n", "layer", "row tiles", "col tiles", "arrays", "steps/input")
 	for _, c := range m.Costs() {
 		if c.Kind != "binary" {
 			continue
@@ -84,58 +99,58 @@ func inspect(name, mapping string, seed int64) {
 		case "tacit":
 			p, err := core.PlanTacit(c.Work.N, c.Work.M, cfg.CrossbarRows, cfg.CrossbarCols)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("%-14s %10d %10d %8d %16d\n",
+			fmt.Fprintf(out, "%-14s %10d %10d %8d %16d\n",
 				c.Name, p.RowTiles, p.ColTiles, p.Tiles(), p.SerialStepsPerInput())
 		case "cust":
 			p, err := core.PlanCust(c.Work.N, c.Work.M, cfg.CrossbarRows, cfg.CrossbarCols/2)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("%-14s %10d %10d %8d %16d\n",
+			fmt.Fprintf(out, "%-14s %10d %10d %8d %16d\n",
 				c.Name, p.RowTiles, p.ColTiles, p.Tiles(), p.SerialStepsPerInput())
 		default:
-			fatal(fmt.Errorf("unknown mapping %q (want tacit|cust)", mapping))
+			return fmt.Errorf("unknown mapping %q (want tacit|cust)", mapping)
 		}
 	}
+	return nil
 }
 
-func trainDemo(seed int64) {
+func trainDemo(out io.Writer, seed int64, epochs int) error {
 	samples := dataset.Digits(800, seed)
 	train, test, err := dataset.Split(samples, 0.8)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	xs, ys := dataset.Flatten(train)
 	txs, tys := dataset.Flatten(test)
 	tr, err := bnn.NewTrainer(bnn.TrainerConfig{Sizes: []int{784, 64, 64, 10}, LR: 0.01, Seed: seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	for epoch := 1; epoch <= 12; epoch++ {
+	for epoch := 1; epoch <= epochs; epoch++ {
 		loss, err := tr.TrainEpoch(xs, ys)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("epoch %2d  loss %.4f  test acc %.3f\n", epoch, loss, tr.Accuracy(txs, tys))
+		fmt.Fprintf(out, "epoch %2d  loss %.4f  test acc %.3f\n", epoch, loss, tr.Accuracy(txs, tys))
 	}
 	m := tr.Export("digit-mlp")
 	batch := make([]*tensor.Float, len(test))
 	for i, s := range test {
 		batch[i] = s.X.Reshape(784)
 	}
+	classes, err := infer.New(m, 0).PredictBatch(batch)
+	if err != nil {
+		return err
+	}
 	correct := 0
-	for i, class := range infer.New(m, 0).PredictBatch(batch) {
+	for i, class := range classes {
 		if class == tys[i] {
 			correct++
 		}
 	}
-	fmt.Printf("exported inference model accuracy: %.3f\n", float64(correct)/float64(len(test)))
-	_ = txs
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bnngen:", err)
-	os.Exit(1)
+	fmt.Fprintf(out, "exported inference model accuracy: %.3f\n", float64(correct)/float64(len(test)))
+	return nil
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestListZoo(t *testing.T) {
+	out := runOK(t, "-list")
+	for _, n := range []string{"CNN-S", "CNN-M", "CNN-L", "MLP-S", "MLP-M", "MLP-L", "binary ops"} {
+		if !strings.Contains(out, n) {
+			t.Fatalf("zoo listing missing %q:\n%s", n, out)
+		}
+	}
+}
+
+func TestInspectModelWithMapping(t *testing.T) {
+	out := runOK(t, "-model", "MLP-S", "-map", "tacit")
+	for _, frag := range []string{"MLP-S", "layer", "steps/input", "tacit tiling"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("inspect output missing %q:\n%s", frag, out)
+		}
+	}
+	out = runOK(t, "-model", "CNN-S", "-map", "cust")
+	if !strings.Contains(out, "cust tiling") {
+		t.Fatalf("cust mapping missing:\n%s", out)
+	}
+}
+
+func TestTrainDemo(t *testing.T) {
+	out := runOK(t, "-train", "-epochs", "1")
+	if !strings.Contains(out, "epoch  1") || !strings.Contains(out, "exported inference model accuracy") {
+		t.Fatalf("train output wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	for name, args := range map[string][]string{
+		"no action":       {},
+		"unknown model":   {"-model", "MLP-XXL"},
+		"unknown mapping": {"-model", "MLP-S", "-map", "spiral"},
+		"unknown flag":    {"-frobnicate"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+}

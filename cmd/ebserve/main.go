@@ -1,0 +1,222 @@
+// Command ebserve is the online serving front end: it wraps a zoo
+// network in the dynamic-batching server (internal/serve) and either
+// exposes it over HTTP or drives it with the embedded load generator.
+//
+//	ebserve -network MLP-S -addr :8080            # HTTP: /infer /stats /healthz
+//	ebserve -network CNN-S -design eb -loadgen -rate 2000,8000,32000 -requests 2000
+//	ebserve -loadgen -rate 4000 -csv              # latency–throughput curve as CSV
+//	ebserve -backend hardware -loadgen -rate 50   # hardware-in-the-loop serving
+//
+// Designs are resolved by name through the arch registry; every served
+// batch is priced on the selected design's simulated pipeline, so the
+// loadgen curve reports both wall-clock SLO numbers and the simulated
+// accelerator throughput against its analytic ceiling
+// (eval.ThroughputAt's steady-state bound).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/eval"
+	"einsteinbarrier/internal/robust"
+	"einsteinbarrier/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ebserve:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed CLI configuration.
+type options struct {
+	network  string
+	design   string
+	backend  string
+	maxBatch int
+	maxWait  time.Duration
+	queueCap int
+	workers  int
+	inferW   int
+	seed     int64
+	noPrice  bool
+
+	addr string
+
+	loadgen  bool
+	rates    string
+	requests int
+	clients  int
+	csvOut   bool
+	jsonOut  bool
+}
+
+// run is the testable CLI body: parses args, builds the server, and
+// either serves HTTP (addr mode) or runs the load generator against it.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ebserve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var o options
+	fs.StringVar(&o.network, "network", "MLP-S", "zoo network: "+strings.Join(bnn.ZooNames, ", "))
+	fs.StringVar(&o.design, "design", "EinsteinBarrier", "accelerator design for per-batch sim pricing (registry name/alias)")
+	fs.StringVar(&o.backend, "backend", "software", "execution backend: software (bitops fast path) or hardware (simulated analog crossbars)")
+	fs.IntVar(&o.maxBatch, "max-batch", 64, "dynamic batcher size cap")
+	fs.DurationVar(&o.maxWait, "max-wait", 500*time.Microsecond, "dynamic batcher deadline (0 = greedy dispatch)")
+	fs.IntVar(&o.queueCap, "queue", 0, "admission queue capacity (0 = 4×max-batch)")
+	fs.IntVar(&o.workers, "workers", 1, "concurrent batch executors (backend replicas)")
+	fs.IntVar(&o.inferW, "infer-workers", 0, "software backend: per-replica inference pool size (0 = one per CPU)")
+	fs.Int64Var(&o.seed, "seed", 1, "zoo weight-synthesis seed")
+	fs.BoolVar(&o.noPrice, "no-pricing", false, "disable per-batch accelerator pricing")
+	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address (serve mode)")
+	fs.BoolVar(&o.loadgen, "loadgen", false, "run the embedded load generator instead of serving HTTP")
+	fs.StringVar(&o.rates, "rate", "1000,4000,16000", "comma-separated open-loop arrival rates (req/s); 0 entries select the closed loop")
+	fs.IntVar(&o.requests, "requests", 1000, "loadgen arrivals per rate point")
+	fs.IntVar(&o.clients, "clients", 4, "closed-loop client count (rate 0)")
+	fs.BoolVar(&o.csvOut, "csv", false, "emit the loadgen curve as CSV")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit the loadgen curve as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := bnn.NewModel(o.network, o.seed)
+	if err != nil {
+		return err
+	}
+	design, err := arch.ParseDesign(o.design)
+	if err != nil {
+		return err
+	}
+	newServer := func() (*serve.Server, error) { return buildServer(o, model, design) }
+
+	if o.loadgen {
+		return runLoadgen(o, model, newServer, out)
+	}
+	s, err := newServer()
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer s.Stop()
+	fmt.Fprintf(out, "ebserve: %s on %s (design %v, max-batch %d, max-wait %v) listening on %s\n",
+		o.network, s.Stats().Backend, design, o.maxBatch, o.maxWait, o.addr)
+	return http.ListenAndServe(o.addr, s.Handler())
+}
+
+// buildServer assembles one server from the options (fresh metrics and
+// queue — the loadgen sweep calls it once per rate point).
+func buildServer(o options, model *bnn.Model, design arch.Design) (*serve.Server, error) {
+	var backend serve.Backend
+	switch o.backend {
+	case "software":
+		b, err := serve.NewSoftwareBackend(model, o.inferW)
+		if err != nil {
+			return nil, err
+		}
+		backend = b
+	case "hardware":
+		spec, err := design.Spec()
+		if err != nil {
+			return nil, err
+		}
+		b, err := serve.NewHardwareBackend(model, robust.DefaultConfig(spec.Tech))
+		if err != nil {
+			return nil, err
+		}
+		backend = b
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want software|hardware)", o.backend)
+	}
+	cfg := serve.Config{
+		Backend:  backend,
+		MaxBatch: o.maxBatch,
+		MaxWait:  o.maxWait,
+		QueueCap: o.queueCap,
+		Workers:  o.workers,
+	}
+	if !o.noPrice {
+		eng, err := eval.Pipeline(eval.DefaultConfig(), model, design)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Pricer, err = serve.NewPricer(eng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return serve.New(cfg)
+}
+
+// runLoadgen sweeps the requested arrival rates and renders the curve.
+func runLoadgen(o options, model *bnn.Model, newServer func() (*serve.Server, error), out io.Writer) error {
+	rates, err := parseRates(o.rates)
+	if err != nil {
+		return err
+	}
+	size := 1
+	for _, d := range model.InputShape {
+		size *= d
+	}
+	base := serve.LoadConfig{
+		Requests: o.requests,
+		Clients:  o.clients,
+		Seed:     o.seed,
+		Inputs:   serve.SyntheticInputs(size, 32, o.seed),
+	}
+	var points []serve.RatePoint
+	if len(rates) == 1 && rates[0] == 0 {
+		// Closed loop: one point, offered = achieved.
+		s, err := newServer()
+		if err != nil {
+			return err
+		}
+		rep, err := serve.Run(s, base)
+		s.Stop()
+		if err != nil {
+			return err
+		}
+		points = []serve.RatePoint{{RatePerSec: 0, Report: rep}}
+	} else {
+		points, err = serve.SweepRates(newServer, rates, base)
+		if err != nil {
+			return err
+		}
+	}
+	switch {
+	case o.csvOut:
+		return serve.WriteLoadCSV(out, points)
+	case o.jsonOut:
+		return serve.WriteLoadJSON(out, points)
+	default:
+		fmt.Fprint(out, serve.LoadTable(points))
+		return nil
+	}
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad -rate entry %q (want non-negative numbers)", f)
+		}
+		out = append(out, r)
+	}
+	if len(out) > 1 {
+		for _, r := range out {
+			if r == 0 {
+				return nil, fmt.Errorf("-rate 0 (closed loop) cannot be mixed with open-loop rates")
+			}
+		}
+	}
+	return out, nil
+}

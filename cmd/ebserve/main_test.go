@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestLoadgenTable(t *testing.T) {
+	out := runOK(t, "-loadgen", "-network", "MLP-S", "-rate", "2000,8000",
+		"-requests", "40", "-max-wait", "200us")
+	for _, frag := range []string{"rate/s", "p99 ms", "sim ceiling", "2000", "8000"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("loadgen table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLoadgenCSV(t *testing.T) {
+	out := runOK(t, "-loadgen", "-rate", "4000", "-requests", "30", "-csv")
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0][0] != "rate_per_sec" {
+		t.Fatalf("CSV shape wrong: %v", recs)
+	}
+	// With pricing on (the default), the sim columns must be populated.
+	idx := -1
+	for i, h := range recs[0] {
+		if h == "sim_ceiling_per_sec" {
+			idx = i
+		}
+	}
+	if idx < 0 || recs[1][idx] == "0" {
+		t.Fatalf("sim ceiling missing from CSV row: %v", recs[1])
+	}
+}
+
+func TestLoadgenClosedLoopJSON(t *testing.T) {
+	out := runOK(t, "-loadgen", "-rate", "0", "-requests", "30", "-clients", "3", "-json", "-no-pricing")
+	var points []map[string]any
+	if err := json.Unmarshal([]byte(out), &points); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("closed loop should yield one point, got %d", len(points))
+	}
+	rep := points[0]["report"].(map[string]any)
+	if rep["completed"].(float64) != 30 {
+		t.Fatalf("closed loop completed %v, want 30", rep["completed"])
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	for name, args := range map[string][]string{
+		"unknown network": {"-network", "MLP-XXL"},
+		"unknown design":  {"-design", "warp-drive"},
+		"unknown backend": {"-backend", "quantum", "-loadgen"},
+		"bad rate":        {"-loadgen", "-rate", "fast"},
+		"mixed rate 0":    {"-loadgen", "-rate", "0,1000"},
+		"unknown flag":    {"-frobnicate"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+	// The design error must name the offender and the registry.
+	err := run([]string{"-design", "warp-drive"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("design error should name the bad design: %v", err)
+	}
+}

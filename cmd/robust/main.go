@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"einsteinbarrier/internal/bnn"
@@ -20,17 +21,28 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "noise", "study: noise, faults, drift, mlc")
-	tech := flag.String("tech", "epcm", "array technology: epcm, opcm")
-	samples := flag.Int("samples", 60, "held-out samples per corner")
-	epochs := flag.Int("epochs", 10, "training epochs")
-	seed := flag.Int64("seed", 7, "seed")
-	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results are bit-identical at any count)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "robust:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: parses args, writes the report to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("robust", flag.ContinueOnError)
+	fs.SetOutput(out)
+	sweep := fs.String("sweep", "noise", "study: noise, faults, drift, mlc")
+	tech := fs.String("tech", "epcm", "array technology: epcm, opcm")
+	samples := fs.Int("samples", 60, "held-out samples per corner")
+	epochs := fs.Int("epochs", 10, "training epochs")
+	seed := fs.Int64("seed", 7, "seed")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results are bit-identical at any count)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *sweep == "mlc" {
-		mlcStudy()
-		return
+		return mlcStudy(out)
 	}
 
 	var dtech device.Technology
@@ -40,10 +52,13 @@ func main() {
 	case "opcm":
 		dtech = device.OPCM
 	default:
-		fatal(fmt.Errorf("unknown -tech %q", *tech))
+		return fmt.Errorf("unknown -tech %q (want epcm|opcm)", *tech)
 	}
 
-	model, test := train(*seed, *epochs)
+	model, test, err := train(*seed, *epochs)
+	if err != nil {
+		return err
+	}
 	if len(test) > *samples {
 		test = test[:*samples]
 	}
@@ -51,7 +66,6 @@ func main() {
 	base.Workers = *workers
 
 	var points []robust.SweepPoint
-	var err error
 	switch *sweep {
 	case "noise":
 		points, err = robust.NoiseSweep(model, test, base,
@@ -61,58 +75,55 @@ func main() {
 			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.2})
 	case "drift":
 		if dtech != device.EPCM {
-			fatal(fmt.Errorf("drift applies to ePCM arrays"))
+			return fmt.Errorf("drift applies to ePCM arrays")
 		}
 		points, err = robust.DriftSweep(model, test, base,
 			[]float64{0, 60, 3600, 86400, 604800})
 	default:
-		fatal(fmt.Errorf("unknown -sweep %q", *sweep))
+		return fmt.Errorf("unknown -sweep %q (want noise|faults|drift|mlc)", *sweep)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%-16s %14s %12s %12s\n", "corner", "sw/hw agree", "sw acc", "hw acc")
+	fmt.Fprintf(out, "%-16s %14s %12s %12s\n", "corner", "sw/hw agree", "sw acc", "hw acc")
 	for _, p := range points {
-		fmt.Printf("%-16s %13.1f%% %11.1f%% %11.1f%%\n", p.Label,
+		fmt.Fprintf(out, "%-16s %13.1f%% %11.1f%% %11.1f%%\n", p.Label,
 			100*p.Agreement.MatchRate(),
 			100*p.Agreement.SoftwareAccuracy,
 			100*p.Agreement.HardwareAccuracy)
 	}
+	return nil
 }
 
-func train(seed int64, epochs int) (*bnn.Model, []dataset.Sample) {
+func train(seed int64, epochs int) (*bnn.Model, []dataset.Sample, error) {
 	samples := dataset.Digits(700, seed)
 	trainSet, test, err := dataset.Split(samples, 0.85)
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	xs, ys := dataset.Flatten(trainSet)
 	tr, err := bnn.NewTrainer(bnn.TrainerConfig{Sizes: []int{784, 64, 64, 10}, LR: 0.01, Seed: seed})
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	for e := 0; e < epochs; e++ {
 		if _, err := tr.TrainEpoch(xs, ys); err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 	}
-	return tr.Export("digit-mlp"), test
+	return tr.Export("digit-mlp"), test, nil
 }
 
-func mlcStudy() {
-	fmt.Println("Multi-level PCM decode error (the paper's §VI-C future work)")
-	fmt.Printf("%-8s %16s %16s\n", "levels", "analytic", "monte-carlo")
+func mlcStudy(out io.Writer) error {
+	fmt.Fprintln(out, "Multi-level PCM decode error (the paper's §VI-C future work)")
+	fmt.Fprintf(out, "%-8s %16s %16s\n", "levels", "analytic", "monte-carlo")
 	for _, l := range []int{2, 4, 8, 16, 32} {
 		p := device.DefaultMLCParams(l)
 		p.ProgramSigma, p.ReadNoiseSigma = 0.02, 0.005
-		fmt.Printf("%-8d %16.6f %16.6f\n", l, p.AnalyticErrorRate(), p.MonteCarloErrorRate(200000, 1))
+		fmt.Fprintf(out, "%-8d %16.6f %16.6f\n", l, p.AnalyticErrorRate(), p.MonteCarloErrorRate(200000, 1))
 	}
 	p := device.DefaultMLCParams(2)
 	p.ProgramSigma, p.ReadNoiseSigma = 0.02, 0.005
-	fmt.Printf("\nrobust level limit at 1e-4: %d levels\n", p.RobustLevelLimit(1e-4))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "robust:", err)
-	os.Exit(1)
+	fmt.Fprintf(out, "\nrobust level limit at 1e-4: %d levels\n", p.RobustLevelLimit(1e-4))
+	return nil
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestMLCStudy(t *testing.T) {
+	out := runOK(t, "-sweep", "mlc")
+	for _, frag := range []string{"levels", "analytic", "monte-carlo", "robust level limit"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("mlc study missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestNoiseSweepSmoke(t *testing.T) {
+	// Tiny corner: 1 epoch, 4 held-out samples — exercises the full
+	// train→map→sweep path without the full study cost.
+	out := runOK(t, "-sweep", "noise", "-tech", "epcm", "-epochs", "1", "-samples", "4")
+	if !strings.Contains(out, "sw/hw agree") || !strings.Contains(out, "sigma=0.005") {
+		t.Fatalf("noise sweep output wrong:\n%s", out)
+	}
+	if strings.Count(out, "sigma=") != 7 {
+		t.Fatalf("want 7 noise corners:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	for name, args := range map[string][]string{
+		"unknown sweep": {"-sweep", "gamma-rays"},
+		"unknown tech":  {"-tech", "dna"},
+		"drift on opcm": {"-sweep", "drift", "-tech", "opcm"},
+		"unknown flag":  {"-frobnicate"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+}

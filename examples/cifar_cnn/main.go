@@ -51,7 +51,11 @@ func main() {
 		xs[i] = s.X
 	}
 	hist := make(map[int]int)
-	for _, class := range infer.New(model, 0).PredictBatch(xs) {
+	classes, err := infer.New(model, 0).PredictBatch(xs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, class := range classes {
 		hist[class]++
 	}
 	fmt.Printf("CNN-M reference inference over %d texture samples: class histogram %v\n",

@@ -66,7 +66,11 @@ func main() {
 		batch[i] = s.X.Reshape(784)
 	}
 	correct := 0
-	for i, class := range infer.New(model, 0).PredictBatch(batch) {
+	classes, err := infer.New(model, 0).PredictBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, class := range classes {
 		if class == tys[i] {
 			correct++
 		}

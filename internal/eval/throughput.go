@@ -179,3 +179,23 @@ func WriteThroughputJSON(w io.Writer, rows []ThroughputResult) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
+
+// Pipeline compiles one model for one design and returns the tile-level
+// pipelined pricing engine. This is the online per-batch pricing hook:
+// the serving subsystem (internal/serve) calls RunBatch on it for every
+// dynamically formed batch, so a live request stream is priced by the
+// exact same arithmetic as the offline ThroughputAt sweep.
+func Pipeline(cfg Config, model *bnn.Model, d arch.Design) (*sim.Engine, error) {
+	if _, err := d.Spec(); err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
+	c, err := compiler.Compile(model, cfg.Arch, d)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s/%v: %w", model.Name(), d, err)
+	}
+	return simulator.NewEngine(c)
+}

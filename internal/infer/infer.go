@@ -12,6 +12,7 @@
 package infer
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -137,25 +138,86 @@ func (e *Engine) model(w int) *bnn.Model {
 	return e.models[w]
 }
 
+// InputSize returns the element count of one model input.
+func (e *Engine) InputSize() int {
+	n := 1
+	for _, d := range e.proto.InputShape {
+		n *= d
+	}
+	return n
+}
+
+// checkBatch validates a batch of (possibly untrusted) inputs against
+// the model's input shape before any layer touches them: every tensor
+// must either match the shape exactly or be a flat vector of the right
+// size (shaped requests and the wire format of the serving front end,
+// respectively). A mismatch is a clear error, never a deep panic inside
+// a layer's forward pass.
+func (e *Engine) checkBatch(xs []*tensor.Float) error {
+	want := e.proto.InputShape
+	size := e.InputSize()
+	for i, x := range xs {
+		if x == nil {
+			return fmt.Errorf("infer: input %d is nil", i)
+		}
+		if x.Size() != size {
+			return fmt.Errorf("infer: input %d has %d elements, model %q wants shape %v (%d elements)",
+				i, x.Size(), e.proto.Name(), want, size)
+		}
+		if x.Dims() == 1 || x.Dims() == len(want) {
+			ok := x.Dims() == 1
+			if !ok {
+				ok = true
+				for d, w := range want {
+					if x.Dim(d) != w {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				continue
+			}
+		}
+		return fmt.Errorf("infer: input %d has shape %v, model %q wants %v (or a flat vector of %d)",
+			i, x.Shape(), e.proto.Name(), want, size)
+	}
+	return nil
+}
+
+// shaped returns x in the model's input shape (a view — no copy).
+func (e *Engine) shaped(x *tensor.Float) *tensor.Float {
+	if x.Dims() != len(e.proto.InputShape) {
+		return x.Reshape(e.proto.InputShape...)
+	}
+	return x
+}
+
 // InferBatch runs the forward pass for every input and returns the
 // logits in input order. Each result is a fresh tensor (cloned out of
-// the worker's scratch), safe to retain.
-func (e *Engine) InferBatch(xs []*tensor.Float) []*tensor.Float {
+// the worker's scratch), safe to retain. Inputs are shape-checked up
+// front (flat vectors of the right size are accepted and reshaped), so
+// malformed batches fail with an error instead of panicking mid-layer.
+func (e *Engine) InferBatch(xs []*tensor.Float) ([]*tensor.Float, error) {
+	if err := e.checkBatch(xs); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out, _ := Map(e.workers, len(xs), func(w, i int) (*tensor.Float, error) {
-		return e.model(w).Infer(xs[i]).Clone(), nil
+	return Map(e.workers, len(xs), func(w, i int) (*tensor.Float, error) {
+		return e.model(w).Infer(e.shaped(xs[i])).Clone(), nil
 	})
-	return out
 }
 
 // PredictBatch returns the argmax class for every input, in input
-// order.
-func (e *Engine) PredictBatch(xs []*tensor.Float) []int {
+// order, with the same shape validation as InferBatch.
+func (e *Engine) PredictBatch(xs []*tensor.Float) ([]int, error) {
+	if err := e.checkBatch(xs); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out, _ := Map(e.workers, len(xs), func(w, i int) (int, error) {
-		return e.model(w).Predict(xs[i]), nil
+	return Map(e.workers, len(xs), func(w, i int) (int, error) {
+		return e.model(w).Predict(e.shaped(xs[i])), nil
 	})
-	return out
 }

@@ -92,7 +92,10 @@ func TestEngineMatchesSerialInference(t *testing.T) {
 		}
 		for _, workers := range []int{1, 3, 8} {
 			e := New(m, workers)
-			got := e.InferBatch(xs)
+			got, err := e.InferBatch(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := range xs {
 				if len(got[i].Data()) != len(want[i]) {
 					t.Fatalf("%s w=%d input %d: logit count mismatch", name, workers, i)
@@ -104,7 +107,11 @@ func TestEngineMatchesSerialInference(t *testing.T) {
 					}
 				}
 			}
-			for i, c := range e.PredictBatch(xs) {
+			cls, err := e.PredictBatch(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range cls {
 				if c != wantCls[i] {
 					t.Fatalf("%s w=%d input %d: class %d != %d", name, workers, i, c, wantCls[i])
 				}
@@ -127,7 +134,10 @@ func TestEngineResultsAreIndependent(t *testing.T) {
 			xs[i].Data()[j] = float64(i + j)
 		}
 	}
-	got := New(m, 1).InferBatch(xs) // one worker ⇒ shared scratch per call
+	got, err := New(m, 1).InferBatch(xs) // one worker ⇒ shared scratch per call
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(got); i++ {
 		if &got[0].Data()[0] == &got[i].Data()[0] {
 			t.Fatal("InferBatch returned aliased result tensors")
@@ -147,10 +157,63 @@ func TestEngineDoesNotTouchOriginalModel(t *testing.T) {
 	before := append([]float64(nil), m.Infer(x).Data()...)
 	y := m.Infer(x) // m's scratch now holds the logits for x
 	e := New(m, 4)
-	e.PredictBatch([]*tensor.Float{x, x, x, x})
+	if _, err := e.PredictBatch([]*tensor.Float{x, x, x, x}); err != nil {
+		t.Fatal(err)
+	}
 	for j, v := range y.Data() {
 		if v != before[j] {
 			t.Fatal("engine mutated the original model's scratch")
+		}
+	}
+}
+
+// TestBatchShapeValidation: server inputs are untrusted, so malformed
+// batches must fail with a clear error instead of a deep layer panic.
+func TestBatchShapeValidation(t *testing.T) {
+	mlp, err := bnn.NewModel("MLP-S", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn, err := bnn.NewModel("CNN-S", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		e    *Engine
+		x    *tensor.Float
+	}{
+		{"nil input", New(mlp, 2), nil},
+		{"wrong size", New(mlp, 2), tensor.NewFloat(10)},
+		{"wrong rank", New(mlp, 2), tensor.NewFloat(28, 28)},
+		{"wrong dims", New(cnn, 2), tensor.NewFloat(32, 32, 3)},
+	} {
+		if _, err := tc.e.InferBatch([]*tensor.Float{tc.x}); err == nil {
+			t.Errorf("%s: InferBatch accepted a bad input", tc.name)
+		}
+		if _, err := tc.e.PredictBatch([]*tensor.Float{tc.x}); err == nil {
+			t.Errorf("%s: PredictBatch accepted a bad input", tc.name)
+		}
+	}
+	// Flat vectors of the right size are the wire format of the serving
+	// front end: accepted and reshaped, identical to the shaped result.
+	e := New(cnn, 2)
+	shaped := tensor.NewFloat(cnn.InputShape...)
+	for i := range shaped.Data() {
+		shaped.Data()[i] = float64(i%7) - 3
+	}
+	flat := tensor.FromSlice(append([]float64(nil), shaped.Data()...), shaped.Size())
+	a, err := e.InferBatch([]*tensor.Float{shaped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.InferBatch([]*tensor.Float{flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[0].Data() {
+		if a[0].Data()[i] != b[0].Data()[i] {
+			t.Fatalf("flat input logit %d: %v != %v", i, b[0].Data()[i], a[0].Data()[i])
 		}
 	}
 }

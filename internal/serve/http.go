@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"einsteinbarrier/internal/tensor"
+)
+
+// JSON wire format of the /infer endpoint.
+
+// InferRequest is the POST /infer body: a flat input vector of the
+// backend's element count.
+type InferRequest struct {
+	Input []float64 `json:"input"`
+}
+
+// InferResponse is the /infer reply.
+type InferResponse struct {
+	Class     int       `json:"class"`
+	Logits    []float64 `json:"logits"`
+	BatchSize int       `json:"batch_size"`
+	BatchSeq  int64     `json:"batch_seq"`
+	QueueMs   float64   `json:"queue_ms"`
+	LatencyMs float64   `json:"latency_ms"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP front end:
+//
+//	POST /infer   — run one inference through the dynamic batcher
+//	GET  /stats   — metrics snapshot (Snapshot)
+//	GET  /healthz — liveness + backend identity
+//
+// Overload (a shed request) maps to 503 with Retry-After, malformed
+// input to 400 — load shedding is part of the API contract, not an
+// internal failure.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", s.handleInfer)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Input) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty input"})
+		return
+	}
+	// Admission errors are this request's own fault (400/503); an error
+	// on the reply channel is an execution failure inside the server
+	// (500) — the distinction keeps backend faults from being blamed on
+	// the client.
+	ch, err := s.SubmitAsync(tensor.FromSlice(req.Input, len(req.Input)))
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "0")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	rep := <-ch
+	if rep.Err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: rep.Err.Error()})
+		return
+	}
+	res := rep.Result
+	writeJSON(w, http.StatusOK, InferResponse{
+		Class:     res.Class,
+		Logits:    res.Logits,
+		BatchSize: res.BatchSize,
+		BatchSeq:  res.BatchSeq,
+		QueueMs:   float64(res.QueueNs) * 1e-6,
+		LatencyMs: float64(res.LatencyNs) * 1e-6,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed, started := s.closed, s.started
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	switch {
+	case closed:
+		status, state = http.StatusServiceUnavailable, "stopped"
+	case !started:
+		status, state = http.StatusServiceUnavailable, "not started"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":  state,
+		"backend": s.cfg.Backend.Name(),
+		"workers": len(s.replicas),
+	})
+}

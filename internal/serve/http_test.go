@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpServer builds a started software server with a fast flush.
+func httpServer(t *testing.T) *Server {
+	t.Helper()
+	model := zooModel(t, "MLP-S")
+	backend, err := NewSoftwareBackend(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Backend: backend, MaxBatch: 8, MaxWait: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON body %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+func TestHTTPInferHappyPath(t *testing.T) {
+	s := httpServer(t)
+	h := s.Handler()
+	input := make([]float64, 784)
+	for i := range input {
+		input[i] = float64(i%13)/6.0 - 1
+	}
+	body, _ := json.Marshal(InferRequest{Input: input})
+	rec, out := doJSON(t, h, http.MethodPost, "/infer", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, out)
+	}
+	logits, ok := out["logits"].([]any)
+	if !ok || len(logits) == 0 {
+		t.Fatalf("no logits in %v", out)
+	}
+	if _, ok := out["class"].(float64); !ok {
+		t.Fatalf("no class in %v", out)
+	}
+	if bs := out["batch_size"].(float64); bs < 1 {
+		t.Fatalf("batch_size %v", bs)
+	}
+	if lat := out["latency_ms"].(float64); lat <= 0 {
+		t.Fatalf("latency_ms %v", lat)
+	}
+}
+
+func TestHTTPInferErrors(t *testing.T) {
+	s := httpServer(t)
+	h := s.Handler()
+	for name, tc := range map[string]struct {
+		method, path, body string
+		want               int
+	}{
+		"bad json":      {http.MethodPost, "/infer", "{nope", http.StatusBadRequest},
+		"unknown field": {http.MethodPost, "/infer", `{"inputs":[1]}`, http.StatusBadRequest},
+		"empty input":   {http.MethodPost, "/infer", `{"input":[]}`, http.StatusBadRequest},
+		"wrong size":    {http.MethodPost, "/infer", `{"input":[1,2,3]}`, http.StatusBadRequest},
+		"wrong method":  {http.MethodGet, "/infer", "", http.StatusMethodNotAllowed},
+		"unknown path":  {http.MethodGet, "/nope", "", http.StatusNotFound},
+	} {
+		rec, _ := doJSON(t, h, tc.method, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d", name, rec.Code, tc.want)
+		}
+	}
+}
+
+func TestHTTPStatsAndHealthz(t *testing.T) {
+	s := httpServer(t)
+	h := s.Handler()
+	// Serve one request so the stats are non-trivial.
+	input := make([]float64, 784)
+	body, _ := json.Marshal(InferRequest{Input: input})
+	if rec, out := doJSON(t, h, http.MethodPost, "/infer", string(body)); rec.Code != http.StatusOK {
+		t.Fatalf("infer failed: %d %v", rec.Code, out)
+	}
+
+	rec, out := doJSON(t, h, http.MethodGet, "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	if out["completed"].(float64) != 1 || out["accepted"].(float64) != 1 {
+		t.Fatalf("stats counters wrong: %v", out)
+	}
+	if _, ok := out["latency_ms"].(map[string]any); !ok {
+		t.Fatalf("stats missing latency block: %v", out)
+	}
+	if out["backend"] != "software/MLP-S" {
+		t.Fatalf("backend %v", out["backend"])
+	}
+
+	rec, out = doJSON(t, h, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", rec.Code, out)
+	}
+}
+
+func TestHTTPServiceUnavailableWhenStopped(t *testing.T) {
+	s := httpServer(t)
+	h := s.Handler()
+	s.Stop()
+	body := fmt.Sprintf(`{"input":[%s1]}`, strings.Repeat("1,", 783))
+	rec, _ := doJSON(t, h, http.MethodPost, "/infer", body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("infer on stopped server: %d, want 503", rec.Code)
+	}
+	rec, out := doJSON(t, h, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusServiceUnavailable || out["status"] != "stopped" {
+		t.Fatalf("healthz on stopped server: %d %v", rec.Code, out)
+	}
+}

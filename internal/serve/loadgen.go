@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"einsteinbarrier/internal/tensor"
+)
+
+// Load generation: an embedded open-loop Poisson generator (arrivals
+// keep coming whether or not the server keeps up — the regime where
+// admission control matters) and a closed-loop generator (each client
+// waits for its reply — the regime that measures service capacity).
+// Arrival schedules and payload selection are seeded, so two runs of
+// the same sweep offer the identical request sequence; wall-clock
+// latencies still vary with the host, which is why the simulated
+// accelerator view (Pricer) is the reproducible half of the report.
+
+// LoadConfig parameterizes one load-generation run.
+type LoadConfig struct {
+	// Rate > 0 selects the open-loop Poisson generator at that many
+	// requests/s; Rate == 0 selects the closed loop.
+	Rate float64
+	// Clients is the closed-loop concurrency (default 4; ignored when
+	// Rate > 0).
+	Clients int
+	// Requests is the total number of arrivals (required).
+	Requests int
+	// Seed drives the arrival schedule.
+	Seed int64
+	// Inputs are the request payloads, cycled in arrival order
+	// (required — see SyntheticInputs).
+	Inputs []*tensor.Float
+}
+
+func (c LoadConfig) validate() error {
+	switch {
+	case c.Requests <= 0:
+		return fmt.Errorf("serve: loadgen needs Requests > 0, got %d", c.Requests)
+	case len(c.Inputs) == 0:
+		return fmt.Errorf("serve: loadgen needs at least one input payload")
+	case c.Rate < 0:
+		return fmt.Errorf("serve: negative arrival rate %g", c.Rate)
+	}
+	return nil
+}
+
+// LoadReport is the outcome of one run.
+type LoadReport struct {
+	// OfferedPerSec echoes the open-loop rate (0 for closed loop).
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	// DurationSec is first arrival to last reply.
+	DurationSec float64 `json:"duration_sec"`
+	// AchievedPerSec is Completed / Duration.
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	// Completed / Shed / Failed partition the Requests.
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Failed    int64 `json:"failed"`
+	// Stats is the server's metrics snapshot at the end of the run.
+	Stats Snapshot `json:"stats"`
+}
+
+// Schedule returns the deterministic open-loop arrival offsets for a
+// seed: n exponential inter-arrival gaps at the given rate, summed into
+// offsets from the run start. Identical (seed, rate, n) → identical
+// schedule, on any host.
+func Schedule(seed int64, rate float64, n int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// Run drives one server with one load configuration. The server is
+// started if it was not already; it is left running (callers own Stop)
+// so sweeps can inspect it afterwards.
+func Run(s *Server, cfg LoadConfig) (LoadReport, error) {
+	if err := cfg.validate(); err != nil {
+		return LoadReport{}, err
+	}
+	s.Start()
+	var completed, shed, failed atomic.Int64
+	submit := func(i int) {
+		_, err := s.Submit(cfg.Inputs[i%len(cfg.Inputs)])
+		switch {
+		case err == nil:
+			completed.Add(1)
+		case errors.Is(err, ErrOverloaded):
+			shed.Add(1)
+		default:
+			failed.Add(1)
+		}
+	}
+	begin := time.Now()
+	var wg sync.WaitGroup
+	if cfg.Rate > 0 {
+		for i, off := range Schedule(cfg.Seed, cfg.Rate, cfg.Requests) {
+			if d := time.Until(begin.Add(off)); d > 0 {
+				time.Sleep(d)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				submit(i)
+			}(i)
+		}
+	} else {
+		clients := cfg.Clients
+		if clients < 1 {
+			clients = 4
+		}
+		if clients > cfg.Requests {
+			clients = cfg.Requests
+		}
+		wg.Add(clients)
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				defer wg.Done()
+				// Client c issues arrivals c, c+clients, c+2·clients, …
+				for i := c; i < cfg.Requests; i += clients {
+					submit(i)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	dur := time.Since(begin).Seconds()
+	rep := LoadReport{
+		OfferedPerSec: cfg.Rate,
+		DurationSec:   dur,
+		Completed:     completed.Load(),
+		Shed:          shed.Load(),
+		Failed:        failed.Load(),
+		Stats:         s.Stats(),
+	}
+	if dur > 0 {
+		rep.AchievedPerSec = float64(rep.Completed) / dur
+	}
+	return rep, nil
+}
+
+// RatePoint is one arrival rate of a sweep.
+type RatePoint struct {
+	RatePerSec float64    `json:"rate_per_sec"`
+	Report     LoadReport `json:"report"`
+}
+
+// SweepRates runs the open-loop generator at every rate, each against a
+// fresh server from newServer (fresh metrics, fresh queue), and returns
+// the latency–throughput curve. Rates at or beyond the backend's
+// capacity show shedding engaging while tail latency stays bounded by
+// the queue depth — the overload half of the SLO story.
+func SweepRates(newServer func() (*Server, error), rates []float64, base LoadConfig) ([]RatePoint, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("serve: sweep needs at least one rate")
+	}
+	out := make([]RatePoint, 0, len(rates))
+	for _, rate := range rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("serve: sweep rate %g must be > 0", rate)
+		}
+		s, err := newServer()
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Rate = rate
+		rep, err := Run(s, cfg)
+		s.Stop()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RatePoint{RatePerSec: rate, Report: rep})
+	}
+	return out, nil
+}
+
+// SyntheticInputs builds n seeded request payloads of the given element
+// count, in the flat wire format the HTTP front end uses.
+func SyntheticInputs(size, n int, seed int64) []*tensor.Float {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Float, n)
+	for i := range out {
+		x := tensor.NewFloat(size)
+		for j := range x.Data() {
+			x.Data()[j] = rng.NormFloat64()
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// WriteLoadCSV emits one row per sweep point.
+func WriteLoadCSV(w io.Writer, points []RatePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"rate_per_sec", "achieved_per_sec", "completed", "shed", "failed",
+		"shed_rate", "mean_batch", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+		"sim_per_sec", "sim_ceiling_per_sec", "sim_energy_pj",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	d := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, p := range points {
+		st := p.Report.Stats
+		simPerSec, simCeil, simPJ := 0.0, 0.0, 0.0
+		if st.Sim != nil {
+			simPerSec, simCeil, simPJ = st.Sim.PerSec, st.Sim.CeilingPerSec, st.Sim.MeanEnergyPJ
+		}
+		if err := cw.Write([]string{
+			f(p.RatePerSec), f(p.Report.AchievedPerSec),
+			d(p.Report.Completed), d(p.Report.Shed), d(p.Report.Failed),
+			f(st.ShedRate), f(st.MeanBatch),
+			f(st.Latency.P50), f(st.Latency.P95), f(st.Latency.P99), f(st.Latency.Max),
+			f(simPerSec), f(simCeil), f(simPJ),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLoadJSON emits the sweep as indented JSON.
+func WriteLoadJSON(w io.Writer, points []RatePoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}
+
+// LoadTable renders a sweep as an aligned text table.
+func LoadTable(points []RatePoint) string {
+	var sb []byte
+	app := func(s string) { sb = append(sb, s...) }
+	app("Latency–throughput curve (open-loop Poisson arrivals)\n")
+	app(fmt.Sprintf("%-12s %12s %10s %8s %10s %9s %9s %9s %12s %12s\n",
+		"rate/s", "achieved/s", "completed", "shed", "mean batch",
+		"p50 ms", "p95 ms", "p99 ms", "sim inf/s", "sim ceiling"))
+	for _, p := range points {
+		st := p.Report.Stats
+		simPerSec, simCeil := 0.0, 0.0
+		if st.Sim != nil {
+			simPerSec, simCeil = st.Sim.PerSec, st.Sim.CeilingPerSec
+		}
+		app(fmt.Sprintf("%-12.0f %12.0f %10d %8d %10.1f %9.3f %9.3f %9.3f %12.0f %12.0f\n",
+			p.RatePerSec, p.Report.AchievedPerSec, p.Report.Completed, p.Report.Shed,
+			st.MeanBatch, st.Latency.P50, st.Latency.P95, st.Latency.P99,
+			simPerSec, simCeil))
+	}
+	return string(sb)
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBuckets pins the log-linear bucket math: indexes are
+// monotone, every value lands in a bucket whose upper bound is ≥ the
+// value, and the relative overestimate is within the 1/32 design bound.
+func TestHistogramBuckets(t *testing.T) {
+	values := []int64{0, 1, 2, 31, 32, 63, 64, 65, 127, 128, 1000, 4096, 1e6, 1e9, 123456789, math.MaxInt64}
+	prev := -1
+	for _, v := range []int64{0, 1, 5, 63, 64, 100, 1024, 1 << 20} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = idx
+	}
+	for _, v := range values {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histSize {
+			t.Fatalf("v=%d: bucket %d out of range [0,%d)", v, idx, histSize)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("v=%d: bucket upper %d < value", v, up)
+		}
+		if v >= histExact {
+			if float64(up-v) > float64(v)/16 {
+				t.Fatalf("v=%d: upper %d overestimates by more than 1/16", v, up)
+			}
+		} else if up != v {
+			t.Fatalf("v=%d: exact bucket reports %d", v, up)
+		}
+	}
+	// Adjacent buckets tile the value axis without gaps.
+	for idx := 0; idx < 500; idx++ {
+		if next := bucketIndex(bucketUpper(idx) + 1); next != idx+1 {
+			t.Fatalf("bucket %d upper+1 lands in %d, want %d", idx, next, idx+1)
+		}
+	}
+}
+
+// TestQuantiles feeds a known population and checks the SLO numbers.
+func TestQuantiles(t *testing.T) {
+	m := newMetrics()
+	// 1..100 ms, one observation each.
+	for i := 1; i <= 100; i++ {
+		m.observeLatency(int64(i) * 1e6)
+	}
+	m.batchServed(100, true)
+	s := m.snapshot("test", 0)
+	if s.Completed != 100 || s.Batches != 1 || s.MeanBatch != 100 {
+		t.Fatalf("counters wrong: %+v", s)
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got < want || got > want*1.05 {
+			t.Fatalf("%s = %v ms, want within [%v, %v]", name, got, want, want*1.05)
+		}
+	}
+	check("p50", s.Latency.P50, 50)
+	check("p95", s.Latency.P95, 95)
+	check("p99", s.Latency.P99, 99)
+	if s.Latency.Max != 100 {
+		t.Fatalf("max = %v, want exactly 100 (tracked outside the histogram)", s.Latency.Max)
+	}
+	if s.Latency.P50 > s.Latency.P95 || s.Latency.P95 > s.Latency.P99 || s.Latency.P99 > s.Latency.Max {
+		t.Fatalf("quantiles not ordered: %+v", s.Latency)
+	}
+}
+
+// TestEmptySnapshot: a fresh metrics block reports zeros, not NaNs.
+func TestEmptySnapshot(t *testing.T) {
+	s := newMetrics().snapshot("test", 0)
+	for name, v := range map[string]float64{
+		"shed rate": s.ShedRate, "mean batch": s.MeanBatch,
+		"throughput": s.ThroughputPerSec, "p99": s.Latency.P99,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+			t.Fatalf("%s = %v on empty metrics, want 0", name, v)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package serve is the online serving subsystem: it turns a live
+// request stream into dynamically sized inference batches and reports
+// tail latency against the pipeline ceiling the offline sweeps
+// (eval.ThroughputAt) make measurable.
+//
+// The pieces:
+//
+//   - a deadline-aware dynamic batcher: requests are collected until
+//     either MaxBatch is reached or MaxWait has elapsed since the first
+//     request of the batch, whichever comes first;
+//   - admission control: a bounded queue sheds load when full
+//     (ErrOverloaded) instead of letting latency grow without bound,
+//     with shed-count accounting in the metrics block;
+//   - pluggable backends (Backend): SoftwareBackend runs the exact
+//     bitops fast path through the internal/infer pool; HardwareBackend
+//     runs the binary layers on simulated analog crossbars
+//     (robust.HardwareModel);
+//   - optional per-batch accelerator pricing (Pricer): every served
+//     batch is priced by sim.Engine.RunBatch, so a live stream reports
+//     simulated latency/energy/throughput for a selected design;
+//   - a snapshot-able metrics block (Snapshot): throughput, p50/p95/p99
+//     /max latency, mean batch size, queue depth, shed rate.
+//
+// Batch boundaries are a scheduling decision, not a constant: under
+// light load the MaxWait deadline flushes small batches (latency-bound
+// regime), under saturation every batch fills to MaxBatch and the
+// simulated throughput approaches the pipeline's analytic ceiling
+// (throughput-bound regime). The loadgen (loadgen.go) sweeps arrival
+// rates across both regimes.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"einsteinbarrier/internal/tensor"
+)
+
+// Admission errors. ErrOverloaded is retryable (the queue was full at
+// arrival time); ErrClosed is not.
+var (
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	ErrClosed     = errors.New("serve: server is stopped")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Backend executes the batches. Required.
+	Backend Backend
+	// MaxBatch is the dispatch size cap (default 64).
+	MaxBatch int
+	// MaxWait is how long the batcher holds a non-full batch, measured
+	// from the enqueue of its first request (default 500µs). 0 means
+	// dispatch greedily: a batch is whatever is queued at drain time.
+	MaxWait time.Duration
+	// QueueCap bounds the admission queue (default 4×MaxBatch). A full
+	// queue sheds new requests with ErrOverloaded.
+	QueueCap int
+	// Workers is the number of batch executors, each owning an
+	// independent backend replica (default 1). More than one worker
+	// lets batches overlap, at the cost of out-of-order completion.
+	Workers int
+	// Pricer, when non-nil, prices every served batch on the simulated
+	// accelerator (see NewPricer).
+	Pricer *Pricer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Result is one request's reply.
+type Result struct {
+	// Class is the argmax prediction; Logits the full output vector.
+	Class  int
+	Logits []float64
+	// BatchSize is the size of the dynamic batch that served the
+	// request; BatchSeq its dispatch sequence number (0-based).
+	BatchSize int
+	BatchSeq  int64
+	// QueueNs is enqueue→dispatch, LatencyNs enqueue→reply.
+	QueueNs   int64
+	LatencyNs int64
+}
+
+// Reply pairs a Result with its error, for the async submit path.
+type Reply struct {
+	Result Result
+	Err    error
+}
+
+// request is one queued inference.
+type request struct {
+	x     *tensor.Float
+	enq   time.Time
+	reply chan Reply
+}
+
+// batchJob is one dispatched batch: the batcher stamps the sequence
+// number, so batch boundaries are observable (and test-pinned) even
+// when several workers complete out of order.
+type batchJob struct {
+	seq  int64
+	reqs []*request
+}
+
+// Server is the online serving front: Submit (or the HTTP handler in
+// http.go) feeds the admission queue, the batcher forms dynamic
+// batches, and worker goroutines execute them on backend replicas.
+type Server struct {
+	cfg       Config
+	inputSize int
+	queue     chan *request
+	batches   chan batchJob
+	replicas  []Replica
+	metrics   *metrics
+	batchSeq  int64 // owned by the batcher goroutine
+
+	mu      sync.Mutex // guards closed and the queue close
+	closed  bool
+	started bool
+	wg      sync.WaitGroup
+}
+
+// New builds a server (replicas are created eagerly so misconfigured
+// backends fail fast). Call Start to begin serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("serve: config needs a backend")
+	}
+	cfg = cfg.withDefaults()
+	size := 1
+	for _, d := range cfg.Backend.InputShape() {
+		size *= d
+	}
+	s := &Server{
+		cfg:       cfg,
+		inputSize: size,
+		queue:     make(chan *request, cfg.QueueCap),
+		batches:   make(chan batchJob),
+		metrics:   newMetrics(),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		r, err := cfg.Backend.NewReplica()
+		if err != nil {
+			return nil, fmt.Errorf("serve: replica %d: %w", w, err)
+		}
+		s.replicas = append(s.replicas, r)
+	}
+	return s, nil
+}
+
+// Start launches the batcher and the batch workers. Requests submitted
+// before Start queue up (subject to admission control) and are served
+// in enqueue order once the batcher runs — which is what makes batch
+// boundaries deterministic under test.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	s.wg.Add(1 + len(s.replicas))
+	go s.batchLoop()
+	for _, r := range s.replicas {
+		go s.workLoop(r)
+	}
+}
+
+// Stop drains the queue (every accepted request is answered) and waits
+// for the pipeline to finish. Further submissions fail with ErrClosed.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	started := s.started
+	close(s.queue)
+	s.mu.Unlock()
+	if !started {
+		// No batcher is running: answer queued requests directly.
+		for r := range s.queue {
+			r.reply <- Reply{Err: ErrClosed}
+		}
+		return
+	}
+	s.wg.Wait()
+}
+
+// SubmitAsync validates and enqueues one request and returns the
+// channel its Reply will arrive on (buffered — the server never blocks
+// on a slow consumer). This is the streaming submit path; Submit is the
+// blocking wrapper.
+//
+// Inputs must either match the backend's input shape exactly or be a
+// flat vector of the right element count (the HTTP wire format), which
+// is reshaped here — so batches reaching a replica are always
+// well-shaped and one caller's malformed tensor can never poison the
+// requests it would have been batched with.
+func (s *Server) SubmitAsync(x *tensor.Float) (<-chan Reply, error) {
+	want := s.cfg.Backend.InputShape()
+	ok := x != nil && x.Size() == s.inputSize
+	if ok && x.Dims() != 1 {
+		ok = x.Dims() == len(want)
+		for d := 0; ok && d < len(want); d++ {
+			ok = x.Dim(d) == want[d]
+		}
+	}
+	if !ok {
+		s.metrics.rejected.Add(1)
+		shape := []int(nil)
+		if x != nil {
+			shape = x.Shape()
+		}
+		return nil, fmt.Errorf("serve: input shape %v, backend %q wants %v (or a flat vector of %d)",
+			shape, s.cfg.Backend.Name(), want, s.inputSize)
+	}
+	if x.Dims() != len(want) {
+		x = x.Reshape(want...)
+	}
+	r := &request{x: x, enq: time.Now(), reply: make(chan Reply, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- r:
+		s.metrics.accepted.Add(1)
+		s.mu.Unlock()
+		return r.reply, nil
+	default:
+		s.metrics.shed.Add(1)
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+}
+
+// Submit enqueues one request and blocks until its reply.
+func (s *Server) Submit(x *tensor.Float) (Result, error) {
+	ch, err := s.SubmitAsync(x)
+	if err != nil {
+		return Result{}, err
+	}
+	rep := <-ch
+	return rep.Result, rep.Err
+}
+
+// QueueDepth is the number of requests waiting for a batch slot.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Stats snapshots the metrics block.
+func (s *Server) Stats() Snapshot {
+	snap := s.metrics.snapshot(s.cfg.Backend.Name(), len(s.queue))
+	if s.cfg.Pricer != nil {
+		sim := s.cfg.Pricer.Snapshot()
+		snap.Sim = &sim
+	}
+	return snap
+}
+
+// batchLoop is the deadline-aware dynamic batcher: collect up to
+// MaxBatch requests or until MaxWait past the first request's enqueue,
+// whichever comes first, then hand the batch to a worker.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := make([]*request, 1, s.cfg.MaxBatch)
+		batch[0] = first
+		deadline := first.enq.Add(s.cfg.MaxWait)
+		closed := false
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			// Fast path: drain whatever is already queued, in order.
+			select {
+			case r, rok := <-s.queue:
+				if !rok {
+					closed = true
+					break collect
+				}
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			wait := time.Until(deadline)
+			if wait <= 0 {
+				break collect
+			}
+			timer.Reset(wait)
+			select {
+			case r, rok := <-s.queue:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				if !rok {
+					closed = true
+					break collect
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		s.dispatch(batch)
+		if closed {
+			// Flush the remainder of the drained queue in full batches.
+			// (Fresh slices — the dispatched batch is owned by a worker.)
+			batch = make([]*request, 0, s.cfg.MaxBatch)
+			for r := range s.queue {
+				batch = append(batch, r)
+				if len(batch) == s.cfg.MaxBatch {
+					s.dispatch(batch)
+					batch = make([]*request, 0, s.cfg.MaxBatch)
+				}
+			}
+			if len(batch) > 0 {
+				s.dispatch(batch)
+			}
+			return
+		}
+	}
+}
+
+// dispatch stamps the batch sequence number and hands the batch off.
+func (s *Server) dispatch(batch []*request) {
+	s.batches <- batchJob{seq: s.batchSeq, reqs: batch}
+	s.batchSeq++
+}
+
+// runReplica executes one batch, converting a replica panic into an
+// error: a buggy backend fails its batch, not the whole server.
+func runReplica(rep Replica, xs []*tensor.Float, preds []Prediction) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: backend panic: %v", r)
+		}
+	}()
+	return rep.RunBatch(xs, preds)
+}
+
+// workLoop executes batches on one backend replica.
+func (s *Server) workLoop(rep Replica) {
+	defer s.wg.Done()
+	var (
+		xs    []*tensor.Float
+		preds []Prediction
+	)
+	for job := range s.batches {
+		batch := job.reqs
+		dispatched := time.Now()
+		xs = xs[:0]
+		for _, r := range batch {
+			xs = append(xs, r.x)
+		}
+		if cap(preds) < len(batch) {
+			preds = make([]Prediction, len(batch))
+		}
+		preds = preds[:len(batch)]
+		err := runReplica(rep, xs, preds)
+		if err == nil && s.cfg.Pricer != nil {
+			s.cfg.Pricer.price(len(batch))
+		}
+		done := time.Now()
+		s.metrics.batchServed(len(batch), err == nil)
+		for i, r := range batch {
+			lat := done.Sub(r.enq).Nanoseconds()
+			if err != nil {
+				r.reply <- Reply{Err: err}
+				continue
+			}
+			s.metrics.observeLatency(lat)
+			r.reply <- Reply{Result: Result{
+				Class:     preds[i].Class,
+				Logits:    preds[i].Logits,
+				BatchSize: len(batch),
+				BatchSeq:  job.seq,
+				QueueNs:   dispatched.Sub(r.enq).Nanoseconds(),
+				LatencyNs: lat,
+			}}
+		}
+	}
+}
