@@ -343,6 +343,84 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPlacement measures the placement IR end to end: for each
+// placer the model is compiled (placement included) and a batch is
+// scheduled through the pipeline engine. ns/op is the compile+schedule
+// cost; the emitted metrics are the placement-comparison table's
+// essentials — achieved inf/s, NoC stall per batch, and the layout's
+// tile footprint. One co-location case prices a two-model shared
+// fabric (CompileSet + EngineSet) with its interference wait.
+func BenchmarkPlacement(b *testing.B) {
+	cfg := eval.DefaultConfig()
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	for _, network := range []string{"CNN-L", "MLP-L"} {
+		model, err := bnn.NewModel(network, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, placer := range []compiler.Placer{
+			compiler.GreedyPlacer{}, compiler.MeshPlacer{}, compiler.ShardPlacer{},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", network, placer.Name()), func(b *testing.B) {
+				var br *sim.BatchResult
+				var tiles int
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c, err := compiler.CompileWith(model, cfg.Arch, arch.EinsteinBarrier,
+						compiler.Options{Placer: placer})
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng, err := simulator.NewEngine(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if br, err = eng.RunBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					tiles = c.Placement.TotalTiles(cfg.Arch)
+				}
+				b.ReportMetric(br.ThroughputPerSec, "inf/s")
+				b.ReportMetric(br.LinkWaitNs, "linkwait-ns")
+				b.ReportMetric(float64(tiles), "tiles")
+			})
+		}
+	}
+	b.Run("colocate/CNN-L+MLP-M/mesh", func(b *testing.B) {
+		m1, err := bnn.NewModel("CNN-L", cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, err := bnn.NewModel("MLP-M", cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sr *sim.SetResult
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cs, err := compiler.CompileSet([]*bnn.Model{m1, m2}, cfg.Arch,
+				arch.EinsteinBarrier, compiler.SetOptions{Placer: compiler.MeshPlacer{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			es, err := simulator.NewEngineSet(cs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sr, err = es.RunSet(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(sr.AggregatePerSec, "inf/s")
+		b.ReportMetric(sr.FairnessJain, "jain")
+		b.ReportMetric(sr.InterferenceWaitNs, "interference-ns")
+	})
+}
+
 // BenchmarkServe measures the online serving subsystem end to end:
 // closed-loop clients stream requests through the admission queue and
 // the dynamic batcher into backend replicas. ns/op is the wall-clock

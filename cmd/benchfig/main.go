@@ -5,6 +5,8 @@
 //	benchfig -fig 7 -summary    # §VI callouts vs the paper's values
 //	benchfig -fig batch         # pipelined batch-throughput sweep
 //	benchfig -fig batch -batch 1,8,64 -designs EinsteinBarrier,eb64
+//	benchfig -fig placement     # placer comparison (BenchmarkPlacement)
+//	benchfig -fig placement -placers greedy,mesh -batch 64
 //	benchfig -fig wdm           # WDM capacity sweep (E6)
 //	benchfig -fig steps         # TacitMap vs CustBinaryMap step sweep (E5)
 //
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/compiler"
 	"einsteinbarrier/internal/core"
 	"einsteinbarrier/internal/energy"
 	"einsteinbarrier/internal/eval"
@@ -38,7 +42,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchfig", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "7", "artifact to regenerate: 7, 8, batch, wdm, steps, ablate, area")
+	fig := fs.String("fig", "7", "artifact to regenerate: 7, 8, batch, placement, wdm, steps, ablate, area")
 	summary := fs.Bool("summary", false, "also print the §VI observation summary")
 	seed := fs.Int64("seed", 1, "zoo weight-synthesis seed")
 	k := fs.Int("k", 0, "override WDM capacity (default: architecture default 16)")
@@ -46,8 +50,9 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = one per CPU, 1 = serial)")
 	csvOut := fs.Bool("csv", false, "emit the report as CSV instead of tables")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of tables")
-	batch := fs.String("batch", "1,2,4,8,16,32", "comma-separated batch sizes for -fig batch")
+	batch := fs.String("batch", "1,2,4,8,16,32", "comma-separated batch sizes for -fig batch (-fig placement uses the maximum)")
 	designNames := fs.String("designs", "", "comma-separated design names/aliases (default: every registered design for -fig batch, the paper set otherwise)")
+	placerNames := fs.String("placers", "", "comma-separated placers for -fig placement (default: "+strings.Join(compiler.PlacerNames, ",")+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +113,40 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, eval.ThroughputTable(rows))
 		return nil
+	case "placement":
+		batches, err := parseBatches(*batch)
+		if err != nil {
+			return err
+		}
+		maxB := 0
+		for _, b := range batches {
+			maxB = max(maxB, b)
+		}
+		placers, err := parsePlacers(*placerNames)
+		if err != nil {
+			return err
+		}
+		d := arch.EinsteinBarrier
+		if len(designs) > 1 {
+			return fmt.Errorf("-fig placement compares placers on ONE design; got %d in -designs", len(designs))
+		}
+		if len(designs) == 1 {
+			d = designs[0]
+		}
+		rows, err := eval.ComparePlacements(cfg, nil, placers, d, maxB)
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return eval.WritePlacementCSV(out, rows)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprint(out, eval.PlacementTable(rows))
+		return nil
 	case "wdm":
 		return wdmSweep(out, cfg)
 	case "steps":
@@ -119,6 +158,23 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
+}
+
+// parsePlacers resolves a comma-separated placer list; empty means the
+// full built-in set.
+func parsePlacers(names string) ([]compiler.Placer, error) {
+	if strings.TrimSpace(names) == "" {
+		return nil, nil
+	}
+	var out []compiler.Placer
+	for _, n := range strings.Split(names, ",") {
+		p, err := compiler.ParsePlacer(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // parseDesigns resolves a comma-separated design list through the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -97,5 +98,30 @@ func TestUnknownDesignAndFigError(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "batch", "-batch", "0,-3"}, &out); err == nil {
 		t.Fatal("bad batch list must error")
+	}
+}
+
+func TestFigPlacement(t *testing.T) {
+	out := runOK(t, "-fig", "placement", "-batch", "16", "-placers", "greedy,mesh")
+	for _, frag := range []string{"Placement comparison", "greedy", "mesh", "CNN-L", "linkwait_us"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("placement table missing %q:\n%s", frag, out)
+		}
+	}
+	// CSV export carries one row per network×placer.
+	csvOut := runOK(t, "-fig", "placement", "-batch", "8", "-placers", "greedy", "-csv")
+	rows, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+6 { // header + six networks
+		t.Fatalf("placement CSV has %d rows", len(rows))
+	}
+	if err := run([]string{"-fig", "placement", "-placers", "bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown placer must error")
+	}
+	// Multiple designs are an explicit error, never a silent first-pick.
+	if err := run([]string{"-fig", "placement", "-designs", "eb,mlc"}, io.Discard); err == nil {
+		t.Fatal("multiple designs must error for -fig placement")
 	}
 }

@@ -6,6 +6,14 @@
 //	ebserve -network CNN-S -design eb -loadgen -rate 2000,8000,32000 -requests 2000
 //	ebserve -loadgen -rate 4000 -csv              # latency–throughput curve as CSV
 //	ebserve -backend hardware -loadgen -rate 50   # hardware-in-the-loop serving
+//	ebserve -models MLP-S,CNN-S -placer mesh      # multi-model router, one fabric
+//
+// With -models, several networks are co-located on ONE simulated
+// fabric (compiler.CompileSet carves disjoint tile regions) behind the
+// multi-model router: POST /infer?model=NAME routes to that model's
+// dynamic batcher, and GET /stats reports per-model serving metrics
+// plus the shared-fabric co-location snapshot (isolated vs co-located
+// throughput, Jain fairness, interference stall).
 //
 // Designs are resolved by name through the arch registry; every served
 // batch is priced on the selected design's simulated pipeline, so the
@@ -26,9 +34,11 @@ import (
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
 	"einsteinbarrier/internal/eval"
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/serve"
+	"einsteinbarrier/internal/sim"
 )
 
 func main() {
@@ -41,6 +51,8 @@ func main() {
 // options is the parsed CLI configuration.
 type options struct {
 	network  string
+	models   string
+	placer   string
 	design   string
 	backend  string
 	maxBatch int
@@ -68,6 +80,8 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var o options
 	fs.StringVar(&o.network, "network", "MLP-S", "zoo network: "+strings.Join(bnn.ZooNames, ", "))
+	fs.StringVar(&o.models, "models", "", "comma-separated zoo networks to co-locate behind the multi-model router (serve mode; overrides -network)")
+	fs.StringVar(&o.placer, "placer", "greedy", "fabric placement strategy for co-location: "+strings.Join(compiler.PlacerNames, ", "))
 	fs.StringVar(&o.design, "design", "EinsteinBarrier", "accelerator design for per-batch sim pricing (registry name/alias)")
 	fs.StringVar(&o.backend, "backend", "software", "execution backend: software (bitops fast path) or hardware (simulated analog crossbars)")
 	fs.IntVar(&o.maxBatch, "max-batch", 64, "dynamic batcher size cap")
@@ -88,11 +102,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	model, err := bnn.NewModel(o.network, o.seed)
+	design, err := arch.ParseDesign(o.design)
 	if err != nil {
 		return err
 	}
-	design, err := arch.ParseDesign(o.design)
+	if o.models != "" {
+		if o.loadgen {
+			return fmt.Errorf("-models serves the multi-model router; the loadgen drives one network (-network)")
+		}
+		return runMultiModel(o, design, out)
+	}
+	model, err := bnn.NewModel(o.network, o.seed)
 	if err != nil {
 		return err
 	}
@@ -112,29 +132,112 @@ func run(args []string, out io.Writer) error {
 	return http.ListenAndServe(o.addr, s.Handler())
 }
 
-// buildServer assembles one server from the options (fresh metrics and
-// queue — the loadgen sweep calls it once per rate point).
-func buildServer(o options, model *bnn.Model, design arch.Design) (*serve.Server, error) {
-	var backend serve.Backend
-	switch o.backend {
-	case "software":
-		b, err := serve.NewSoftwareBackend(model, o.inferW)
+// runMultiModel serves several co-located networks behind the router.
+func runMultiModel(o options, design arch.Design, out io.Writer) error {
+	router, fabric, err := buildRouter(o, design)
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Stop()
+	fmt.Fprintf(out, "ebserve: %d models co-located on %v (placer %s): %s\n",
+		len(router.Names()), design, o.placer, strings.Join(router.Names(), ", "))
+	for _, fm := range fabric.Models {
+		fmt.Fprintf(out, "  %-8s region %-16s %8.0f inf/s co-located (%.4fx slowdown vs isolated)\n",
+			fm.Name, fm.Region, fm.CoLocatedPerSec, fm.SlowdownX)
+	}
+	fmt.Fprintf(out, "  fabric: %.0f inf/s aggregate, fairness %.4f, interference wait %.2f us; listening on %s\n",
+		fabric.AggregatePerSec, fabric.FairnessJain, fabric.InterferenceWaitNs/1e3, o.addr)
+	return http.ListenAndServe(o.addr, router.Handler())
+}
+
+// buildRouter co-locates the -models networks on one fabric and wires
+// every model's server (each priced by its co-located pipeline engine).
+func buildRouter(o options, design arch.Design) (*serve.Router, serve.FabricSnapshot, error) {
+	var snap serve.FabricSnapshot
+	placer, err := compiler.ParsePlacer(o.placer)
+	if err != nil {
+		return nil, snap, err
+	}
+	var names []string
+	for _, n := range strings.Split(o.models, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
+	evalCfg := eval.DefaultConfig()
+	evalCfg.Seed = o.seed
+	cs, es, err := eval.CoLocate(evalCfg, names, design, placer)
+	if err != nil {
+		return nil, snap, err
+	}
+	sr, err := es.RunSet(o.maxBatch)
+	if err != nil {
+		return nil, snap, err
+	}
+	snap = serve.NewFabricSnapshot(design.String(), placer.Name(), sr)
+	entries := make([]serve.RouterEntry, 0, len(names))
+	for i, name := range names {
+		model, err := bnn.NewModel(name, o.seed)
+		if err != nil {
+			return nil, snap, err
+		}
+		s, err := buildServerWithPricer(o, model, design, es.Engines()[i])
+		if err != nil {
+			return nil, snap, fmt.Errorf("%s: %w", cs[i].ModelName, err)
+		}
+		entries = append(entries, serve.RouterEntry{Name: name, Server: s})
+	}
+	router, err := serve.NewRouter(entries)
+	if err != nil {
+		return nil, snap, err
+	}
+	router.SetFabric(snap)
+	return router, snap, nil
+}
+
+// buildServerWithPricer assembles one model server priced by an
+// existing pipeline engine (the co-located one).
+func buildServerWithPricer(o options, model *bnn.Model, design arch.Design, eng *sim.Engine) (*serve.Server, error) {
+	backend, err := buildBackend(o, model, design)
+	if err != nil {
+		return nil, err
+	}
+	cfg := serve.Config{
+		Backend:  backend,
+		MaxBatch: o.maxBatch,
+		MaxWait:  o.maxWait,
+		QueueCap: o.queueCap,
+		Workers:  o.workers,
+	}
+	if !o.noPrice {
+		cfg.Pricer, err = serve.NewPricer(eng)
 		if err != nil {
 			return nil, err
 		}
-		backend = b
+	}
+	return serve.New(cfg)
+}
+
+// buildBackend picks the execution backend for one model.
+func buildBackend(o options, model *bnn.Model, design arch.Design) (serve.Backend, error) {
+	switch o.backend {
+	case "software":
+		return serve.NewSoftwareBackend(model, o.inferW)
 	case "hardware":
 		spec, err := design.Spec()
 		if err != nil {
 			return nil, err
 		}
-		b, err := serve.NewHardwareBackend(model, robust.DefaultConfig(spec.Tech))
-		if err != nil {
-			return nil, err
-		}
-		backend = b
-	default:
-		return nil, fmt.Errorf("unknown -backend %q (want software|hardware)", o.backend)
+		return serve.NewHardwareBackend(model, robust.DefaultConfig(spec.Tech))
+	}
+	return nil, fmt.Errorf("unknown -backend %q (want software|hardware)", o.backend)
+}
+
+// buildServer assembles one server from the options (fresh metrics and
+// queue — the loadgen sweep calls it once per rate point).
+func buildServer(o options, model *bnn.Model, design arch.Design) (*serve.Server, error) {
+	backend, err := buildBackend(o, model, design)
+	if err != nil {
+		return nil, err
 	}
 	cfg := serve.Config{
 		Backend:  backend,

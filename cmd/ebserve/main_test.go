@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"einsteinbarrier/internal/arch"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -81,5 +85,71 @@ func TestFlagErrors(t *testing.T) {
 	err := run([]string{"-design", "warp-drive"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "warp-drive") {
 		t.Fatalf("design error should name the bad design: %v", err)
+	}
+}
+
+// TestMultiModelRouter builds the co-located router directly (run()
+// would block on ListenAndServe) and drives it end to end: routing,
+// per-model stats and the shared-fabric snapshot.
+func TestMultiModelRouter(t *testing.T) {
+	o := options{
+		models:   "MLP-S, CNN-M",
+		placer:   "mesh",
+		design:   "eb",
+		backend:  "software",
+		maxBatch: 8,
+		maxWait:  100 * time.Microsecond,
+		workers:  1,
+		seed:     1,
+	}
+	design, err := arch.ParseDesign(o.design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, fabric, err := buildRouter(o, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	defer router.Stop()
+	if len(fabric.Models) != 2 || fabric.Placer != "mesh" {
+		t.Fatalf("fabric snapshot %+v", fabric)
+	}
+	for _, fm := range fabric.Models {
+		if fm.Region == "" || fm.CoLocatedPerSec <= 0 || fm.SlowdownX < 1-1e-9 {
+			t.Fatalf("fabric model %+v", fm)
+		}
+	}
+	h := router.Handler()
+	input := make([]float64, 784)
+	body, _ := json.Marshal(map[string]any{"input": input})
+	req := httptest.NewRequest("POST", "/infer?model=MLP-S", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("infer status %d: %s", rec.Code, rec.Body.String())
+	}
+	req = httptest.NewRequest("GET", "/stats", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["fabric"]; !ok {
+		t.Fatalf("stats missing fabric block: %s", rec.Body.String())
+	}
+}
+
+func TestMultiModelFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-models", "MLP-S", "-loadgen"}, &out); err == nil {
+		t.Fatal("-models with -loadgen must error")
+	}
+	if err := run([]string{"-models", "MLP-S", "-placer", "warp"}, &out); err == nil {
+		t.Fatal("unknown placer must error")
+	}
+	if err := run([]string{"-models", "MLP-S,ghost"}, &out); err == nil {
+		t.Fatal("unknown model must error")
 	}
 }

@@ -8,6 +8,8 @@
 //	ebsim -model MLP-S -design baseline -program   # dump the ISA stream
 //	ebsim -model CNN-M -design tacit -k 8 -cols-per-adc 16
 //	ebsim -model CNN-S -design eb64 -batch 64      # wide-K batch drill-down
+//	ebsim -model CNN-L -placer mesh -batch 64      # locality-aware placement
+//	ebsim -models MLP-S,CNN-S -placer mesh         # co-locate on one fabric
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/energy"
 	"einsteinbarrier/internal/gpu"
+	"einsteinbarrier/internal/isa"
 	"einsteinbarrier/internal/sim"
 )
 
@@ -39,7 +42,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ebsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	model := fs.String("model", "CNN-S", "zoo model: "+strings.Join(bnn.ZooNames, ", "))
+	models := fs.String("models", "", "comma-separated zoo models to CO-LOCATE on one fabric (overrides -model)")
 	design := fs.String("design", "eb", "registered design name or alias, or gpu")
+	placerName := fs.String("placer", "greedy", "placement strategy: "+strings.Join(compiler.PlacerNames, ", "))
 	seed := fs.Int64("seed", 1, "weight-synthesis seed")
 	k := fs.Int("k", 0, "override WDM capacity")
 	colsPerADC := fs.Int("cols-per-adc", 0, "override ADC sharing factor")
@@ -49,7 +54,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	m, err := bnn.NewModel(*model, *seed)
+	placer, err := compiler.ParsePlacer(*placerName)
 	if err != nil {
 		return err
 	}
@@ -59,6 +64,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *colsPerADC > 0 {
 		cfg.ColumnsPerADC = *colsPerADC
+	}
+
+	if *models != "" {
+		return runCoLocation(out, strings.Split(*models, ","), *design, placer, cfg, *seed, *batch)
+	}
+
+	m, err := bnn.NewModel(*model, *seed)
+	if err != nil {
+		return err
 	}
 
 	if *design == "gpu" {
@@ -78,13 +92,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	c, err := compiler.Compile(m, cfg, d)
+	c, err := compiler.CompileWith(m, cfg, d, compiler.Options{Placer: placer})
 	if err != nil {
 		return err
 	}
-	placement, err := compiler.PlaceAndRewrite(c, cfg)
-	if err != nil {
-		return err
+	if !c.Placement.Exact {
+		// Greedy programs carry the allocator's average-hop estimate;
+		// tighten the SENDs from the implied layout before pricing (the
+		// legacy PlaceAndRewrite pass). Exact placers stamped real hops
+		// at compile time.
+		if _, err := compiler.PlaceAndRewrite(c, cfg); err != nil {
+			return err
+		}
 	}
 	if *dumpProgram {
 		for _, sec := range c.Program.Sections() {
@@ -110,8 +129,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  binary ops/inference: %d\n", m.TotalBinaryOps())
 	fmt.Fprintf(out, "  fp MACs/inference:    %d\n", m.TotalFPMACs())
 	fmt.Fprintf(out, "  VCores used:          %d / %d\n", c.VCoresUsed, cfg.TotalVCores())
-	fmt.Fprintf(out, "  placement:            %d layer spans, %d total hops, %d chip crossings\n",
-		len(placement.Spans), placement.TotalHops, placement.ChipCrossings)
+	hops, chipHops := sendHops(c)
+	fmt.Fprintf(out, "  placement:            %s, %d layer spans over %d tiles, %d total hops, %d chip hops\n",
+		c.Placement.Placer, len(c.Placement.Layers), c.Placement.TotalTiles(spec.EffectiveArch(cfg)), hops, chipHops)
 	if lc, err := sim.WeightLoadCost(c, cfg); err == nil {
 		fmt.Fprintf(out, "  weight load (once):   %.2f us, %.2f uJ for %d writes\n",
 			lc.LatencyNs/1e3, lc.EnergyPJ/1e6, lc.Writes)
@@ -173,4 +193,66 @@ func mlcSuffix(spec arch.DesignSpec) string {
 	}
 	return fmt.Sprintf(", %d-level cells, decode err %.2g",
 		spec.MLC.Levels, spec.MLC.AnalyticErrorRate())
+}
+
+// sendHops sums the program's SEND routing operands.
+func sendHops(c *compiler.Compiled) (hops, chipHops int) {
+	for _, in := range c.Program {
+		if in.Op == isa.OpSend {
+			hops += in.Hops
+			chipHops += in.ChipHops
+		}
+	}
+	return hops, chipHops
+}
+
+// runCoLocation compiles several models onto one shared fabric with
+// disjoint regions and prints the co-location drill-down: per-model
+// regions, isolated vs co-located throughput, and the fabric's
+// fairness/interference report.
+func runCoLocation(out io.Writer, names []string, designName string, placer compiler.Placer, cfg arch.Config, seed int64, batch int) error {
+	d, err := arch.ParseDesign(designName)
+	if err != nil {
+		return err
+	}
+	var ms []*bnn.Model
+	for _, n := range names {
+		m, err := bnn.NewModel(strings.TrimSpace(n), seed)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, m)
+	}
+	spec, err := d.Spec()
+	if err != nil {
+		return err
+	}
+	ecfg := spec.EffectiveArch(cfg)
+	cs, err := compiler.CompileSet(ms, cfg, d, compiler.SetOptions{Placer: placer})
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(cfg, energy.DefaultCostParams())
+	if err != nil {
+		return err
+	}
+	es, err := s.NewEngineSet(cs)
+	if err != nil {
+		return err
+	}
+	r, err := es.RunSet(batch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "co-location of %d models on %v (placer %s, batch %d)\n", len(cs), d, placer.Name(), batch)
+	fmt.Fprintf(out, "  %-8s %-18s %6s %12s %12s %10s %14s\n",
+		"model", "region", "tiles", "iso inf/s", "co inf/s", "slowdown", "link wait us")
+	for i, mr := range r.Models {
+		fmt.Fprintf(out, "  %-8s %-18s %6d %12.0f %12.0f %9.4fx %14.2f\n",
+			mr.ModelName, mr.Region.String(), cs[i].Placement.TotalTiles(ecfg),
+			mr.IsolatedPerSec, mr.ThroughputPerSec, mr.SlowdownX, mr.LinkWaitNs/1e3)
+	}
+	fmt.Fprintf(out, "  fabric: %.0f inf/s aggregate, fairness %.4f (Jain), interference wait %.2f us, makespan %.2f us\n",
+		r.AggregatePerSec, r.FairnessJain, r.InterferenceWaitNs/1e3, r.MakespanNs/1e3)
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,35 @@ func TestUnknownDesignErrors(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "hal9000") || !strings.Contains(err.Error(), "registered") {
 		t.Fatalf("error should name the design and list the registry: %v", err)
+	}
+}
+
+func TestPlacerDrillDown(t *testing.T) {
+	out := runOK(t, "-model", "CNN-L", "-design", "eb", "-placer", "mesh", "-batch", "8")
+	if !strings.Contains(out, "placement:            mesh,") {
+		t.Fatalf("mesh placement line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pipeline (batch 8):") {
+		t.Fatalf("pipeline drill-down missing:\n%s", out)
+	}
+	if err := run([]string{"-placer", "warp"}, io.Discard); err == nil {
+		t.Fatal("unknown placer must error")
+	}
+}
+
+func TestCoLocationDrillDown(t *testing.T) {
+	out := runOK(t, "-models", "MLP-S,CNN-S", "-placer", "mesh", "-batch", "16")
+	for _, frag := range []string{
+		"co-location of 2 models",
+		"MLP-S", "CNN-S",
+		"iso inf/s", "slowdown",
+		"fairness",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("co-location drill-down missing %q:\n%s", frag, out)
+		}
+	}
+	if err := run([]string{"-models", "MLP-S,ghost"}, io.Discard); err == nil {
+		t.Fatal("unknown co-located model must error")
 	}
 }

@@ -317,7 +317,10 @@ func (d *decoder) bits() *bitops.Matrix {
 	if d.err != nil {
 		return nil
 	}
-	if rows < 0 || cols < 0 || int64(rows)*int64(cols) > 1<<32 {
+	// Bound each dimension before multiplying: two u32s can overflow
+	// even int64 and sneak a negative product past an area-only check
+	// (found by FuzzSerializeRoundTrip).
+	if rows < 0 || cols < 0 || rows > 1<<24 || cols > 1<<24 || int64(rows)*int64(cols) > 1<<32 {
 		d.err = fmt.Errorf("bnn: implausible bit matrix %dx%d", rows, cols)
 		return nil
 	}

@@ -46,12 +46,37 @@ type Compiled struct {
 	VCoresUsed int
 	// WeightWrites counts device programming operations at load time.
 	WeightWrites int64
+	// Placement is the physical layout the placer chose (see placer.go).
+	// The pipeline engine resolves region-relative tiles through it.
+	Placement *Placement
+}
+
+// Options parameterizes CompileWith.
+type Options struct {
+	// Placer chooses the layout strategy; nil means GreedyPlacer (the
+	// legacy flat allocation, bit-identical to the seed compiler).
+	Placer Placer
+	// Region restricts the placement to a fabric slice; nil means the
+	// full fabric. CompileSet carves disjoint regions through this.
+	Region *Region
 }
 
 // Compile lowers model onto cfg for the given design, resolved through
 // the arch design registry (mapping strategy, WDM capability, cell
 // density and architecture hooks all come from the registered spec).
+// It uses the greedy placer over the full fabric — the seed compiler's
+// exact layout and program.
 func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, error) {
+	return CompileWith(model, cfg, design, Options{})
+}
+
+// CompileWith lowers model with an explicit placement strategy. Layout-
+// exact placers (MeshPlacer, ShardPlacer) rewrite SEND hop counts from
+// the placement and stamp region-relative Src/Dst tile operands;
+// sharded layers additionally gain inter-chip gather SENDs. The greedy
+// placer keeps the allocator's average-hop estimate, so its programs
+// are bit-identical to Compile's.
+func CompileWith(model *bnn.Model, cfg arch.Config, design arch.Design, opts Options) (*Compiled, error) {
 	spec, err := design.Spec()
 	if err != nil {
 		return nil, fmt.Errorf("compiler: %w", err)
@@ -63,12 +88,22 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	placer := opts.Placer
+	if placer == nil {
+		placer = GreedyPlacer{}
+	}
+	region := FullFabric(cfg)
+	if opts.Region != nil {
+		region = *opts.Region
+	}
+	if err := region.Validate(cfg); err != nil {
+		return nil, err
+	}
 	mesh := noc.DefaultConfig(cfg.MeshWidth())
 	avgHops := int(mesh.AverageHops() + 0.5)
 	k := cfg.EffectiveK(design)
 
 	c := &Compiled{ModelName: model.Name(), Design: design}
-	var prog isa.Program
 	next := 0 // next free flat VCore index
 
 	alloc := func(n int) int {
@@ -77,26 +112,28 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 		return first
 	}
 
+	// Lower every layer, keeping per-layer instruction slices so the
+	// placement pass can rewrite each VCore-owning layer's transfers
+	// before assembly.
+	var layerProgs []isa.Program
+	var demands []LayerDemand
 	for _, lc := range model.Costs() {
 		la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
+		var ins isa.Program
 		switch lc.Kind {
 		case "binary":
-			ins, a, err := lowerBinary(lc, cfg, spec, k, avgHops)
+			ins, la, err = lowerBinary(lc, cfg, spec, k, avgHops)
 			if err != nil {
 				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
 			}
-			la = a
 			la.FirstVCore = alloc(la.VCores)
-			prog = append(prog, ins...)
 			c.WeightWrites += int64(2 * lc.Work.N * lc.Work.M)
 		case "fp":
-			ins, a, err := lowerFP(lc, cfg, spec, k, avgHops)
+			ins, la, err = lowerFP(lc, cfg, spec, k, avgHops)
 			if err != nil {
 				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
 			}
-			la = a
 			la.FirstVCore = alloc(la.VCores)
-			prog = append(prog, ins...)
 			// Multi-bit weights: one cell per stored slice — InputBits
 			// slices on binary cells, fewer on multi-level cells.
 			c.WeightWrites += lc.MACs * int64(weightSlices(cfg, spec))
@@ -109,8 +146,29 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 		default:
 			return nil, fmt.Errorf("compiler: unknown layer kind %q", lc.Kind)
 		}
-		prog = append(prog, isa.Instruction{Op: isa.OpSync, Comment: lc.Name})
+		layerProgs = append(layerProgs, append(ins, isa.Instruction{Op: isa.OpSync, Comment: lc.Name}))
 		c.Allocs = append(c.Allocs, la)
+		demands = append(demands, demandOf(lc, la.VCores))
+	}
+	pl, err := placer.Place(demands, cfg, region)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: %s: %w", model.Name(), err)
+	}
+	if err := pl.Validate(cfg); err != nil {
+		return nil, err
+	}
+	if len(pl.Layers) != len(layerProgs) {
+		return nil, fmt.Errorf("compiler: placer %s placed %d layers, model has %d", placer.Name(), len(pl.Layers), len(layerProgs))
+	}
+	if pl.Exact {
+		if err := applyPlacement(layerProgs, demands, pl, cfg, mesh); err != nil {
+			return nil, err
+		}
+	}
+
+	var prog isa.Program
+	for _, lp := range layerProgs {
+		prog = append(prog, lp...)
 	}
 	prog = append(prog, isa.Instruction{Op: isa.OpHalt})
 	if err := prog.Validate(); err != nil {
@@ -122,7 +180,93 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 	}
 	c.Program = prog
 	c.VCoresUsed = next
+	c.Placement = pl
 	return c, nil
+}
+
+// demandOf sizes one VCore-owning layer for the placer: the output
+// activation traffic and the cross-shard gather traffic (16-bit partial
+// sums, not 1-bit activations). The single source of these formulas —
+// CompileWith and CompileSet's dry-run sizing both go through it.
+func demandOf(lc bnn.LayerCost, vcores int) LayerDemand {
+	return LayerDemand{
+		Name:         lc.Name,
+		VCores:       vcores,
+		Bytes:        max(lc.ActivationBytes, 1),
+		PartialBytes: 2 * int64(lc.Work.N) * int64(max(lc.Work.Positions, 1)),
+	}
+}
+
+// applyPlacement rewrites each layer's trailing SEND with layout-exact
+// hop counts and region-relative Src/Dst operands, and splices in the
+// inter-chip gather SENDs of sharded layers (partial sums from every
+// secondary shard to the primary anchor, emitted before the layer's
+// output transfer).
+func applyPlacement(layerProgs []isa.Program, demands []LayerDemand, pl *Placement, cfg arch.Config, mesh noc.Config) error {
+	rel := func(chip, tile int) (int, error) {
+		r, err := pl.Region.RelTile(chip, tile, cfg)
+		return r + 1, err
+	}
+	for li := range layerProgs {
+		lp := pl.Layers[li]
+		srcChip, srcTile := lp.Anchor()
+		srcRel, err := rel(srcChip, srcTile)
+		if err != nil {
+			return err
+		}
+		sendIdx := -1
+		for i, in := range layerProgs[li] {
+			if in.Op == isa.OpSend {
+				sendIdx = i
+			}
+		}
+		if sendIdx < 0 {
+			return fmt.Errorf("compiler: placed layer %s has no SEND", lp.Name)
+		}
+		send := &layerProgs[li][sendIdx]
+		send.Src = srcRel
+		if li+1 < len(pl.Layers) {
+			dstChip, dstTile := pl.Layers[li+1].Anchor()
+			hops, chipHops, err := routeHops(mesh, cfg, srcChip, srcTile, dstChip, dstTile)
+			if err != nil {
+				return err
+			}
+			send.Hops, send.ChipHops = hops, chipHops
+			if send.Dst, err = rel(dstChip, dstTile); err != nil {
+				return err
+			}
+		} else {
+			// Host egress: drain to the corner, one board link out.
+			hops, err := mesh.Hops(srcTile, mesh.EgressTile())
+			if err != nil {
+				return err
+			}
+			send.Hops, send.ChipHops, send.Dst = hops, 1, 0
+		}
+		// Gather SENDs for secondary shards, in shard order.
+		var gathers isa.Program
+		for _, sh := range lp.Shards[1:] {
+			hops, chipHops, err := routeHops(mesh, cfg, sh.Chip, sh.Tiles[0], srcChip, srcTile)
+			if err != nil {
+				return err
+			}
+			shRel, err := rel(sh.Chip, sh.Tiles[0])
+			if err != nil {
+				return err
+			}
+			gathers = append(gathers, isa.Instruction{
+				Op: isa.OpSend, Bytes: max(demands[li].PartialBytes, 1),
+				Hops: hops, ChipHops: chipHops,
+				Src: shRel, Dst: srcRel,
+				Comment: lp.Name + "/gather",
+			})
+		}
+		if len(gathers) > 0 {
+			rest := append(isa.Program{}, layerProgs[li][sendIdx:]...)
+			layerProgs[li] = append(append(layerProgs[li][:sendIdx:sendIdx], gathers...), rest...)
+		}
+	}
+	return nil
 }
 
 // lowerBinary emits the instruction sequence of one binary layer,

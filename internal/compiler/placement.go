@@ -8,15 +8,15 @@ import (
 	"einsteinbarrier/internal/noc"
 )
 
-// Placement. Compile allocates VCores linearly and prices every SEND at
-// the mesh's *average* hop distance. This pass derives the actual tile
-// of each layer from its allocation, rewrites every SEND with the real
-// XY-routed hop count between producer and consumer tiles (plus
-// chip-to-chip hops when the allocation spills across nodes), and
-// reports the placement for inspection. Linear allocation is already a
-// good layout — consecutive layers land in nearby tiles — so this pass
-// mostly *tightens* the estimate; a custom placer can reorder Allocs
-// before calling it.
+// Legacy hop rewriting. Compile allocates VCores linearly and prices
+// every SEND at the mesh's *average* hop distance. This pass derives
+// the actual tile of each layer from its allocation, rewrites every
+// SEND with the real XY-routed hop count between producer and consumer
+// tiles (plus chip-to-chip hops when the allocation spills across
+// nodes), and reports the result for inspection. It predates the
+// placement IR (placer.go): layout-exact placers stamp these hops at
+// compile time, so this pass is only useful on greedy-placed programs,
+// where it *tightens* the average-hop estimate after the fact.
 
 // TileSpan is the tile footprint of one layer.
 type TileSpan struct {
@@ -26,8 +26,8 @@ type TileSpan struct {
 	Node, Tile, Tiles int
 }
 
-// Placement maps layers to tiles.
-type Placement struct {
+// PlacementReport summarizes a hop rewrite.
+type PlacementReport struct {
 	Spans []TileSpan
 	// TotalHops is the sum over SEND instructions after rewriting.
 	TotalHops int
@@ -58,12 +58,12 @@ func spanOf(a LayerAlloc, cfg arch.Config) TileSpan {
 
 // PlaceAndRewrite computes the placement implied by the compilation's
 // allocation and rewrites the program's SEND hop counts in place.
-func PlaceAndRewrite(c *Compiled, cfg arch.Config) (*Placement, error) {
+func PlaceAndRewrite(c *Compiled, cfg arch.Config) (*PlacementReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	mesh := noc.DefaultConfig(cfg.MeshWidth())
-	p := &Placement{}
+	p := &PlacementReport{}
 	// Spans in program order, for layers that own VCores.
 	bySendOrder := make([]TileSpan, 0, len(c.Allocs))
 	for _, a := range c.Allocs {

@@ -357,3 +357,22 @@ func TestWeightsRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCompactRect: the region-local layout helper returns the
+// squarest rectangle covering the tile count within the mesh width.
+func TestCompactRect(t *testing.T) {
+	for _, tc := range []struct{ tiles, maxW, w, h int }{
+		{1, 4, 1, 1}, {2, 4, 2, 1}, {3, 4, 2, 2}, {4, 4, 2, 2},
+		{5, 4, 3, 2}, {9, 4, 3, 3}, {10, 4, 4, 3}, {13, 4, 4, 4},
+		{10, 2, 2, 5}, // clamped to the mesh width
+		{0, 4, 1, 1}, {3, 0, 1, 3},
+	} {
+		w, h := CompactRect(tc.tiles, tc.maxW)
+		if w != tc.w || h != tc.h {
+			t.Fatalf("CompactRect(%d,%d) = %dx%d, want %dx%d", tc.tiles, tc.maxW, w, h, tc.w, tc.h)
+		}
+		if tc.tiles > 0 && w*h < tc.tiles {
+			t.Fatalf("CompactRect(%d,%d) = %dx%d does not cover", tc.tiles, tc.maxW, w, h)
+		}
+	}
+}

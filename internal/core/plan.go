@@ -177,4 +177,24 @@ func TheoreticalSpeedup(tacit TacitPlan, cust CustPlan) float64 {
 	return float64(cust.SerialStepsPerInput()) / float64(tacit.SerialStepsPerInput())
 }
 
+// CompactRect shapes a tile count into the most compact rectangle that
+// fits a mesh of width maxW: the squarest w×h with w·h ≥ tiles and
+// w ≤ maxW. This is the region-local layout the locality-aware placer
+// gives every layer — a near-square footprint minimizes the XY hop
+// distance between the layer's own tiles and to its neighbours, where
+// the flat VCore allocator would smear the same tiles along a row.
+func CompactRect(tiles, maxW int) (w, h int) {
+	if tiles < 1 {
+		tiles = 1
+	}
+	if maxW < 1 {
+		maxW = 1
+	}
+	w = 1
+	for w*w < tiles && w < maxW {
+		w++
+	}
+	return w, ceilDiv(tiles, w)
+}
+
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/infer"
+	"einsteinbarrier/internal/isa"
+	"einsteinbarrier/internal/sim"
+)
+
+// Placement comparison: the BenchmarkPlacement experiment. For every
+// network × placer the table reports the layout's footprint, the
+// program's total SEND hop count, the serial latency (layout-exact
+// placers pay their real hops), and the pipelined batch behaviour —
+// throughput, ceiling and NoC stall time. This is where the placement
+// IR's trade-off is visible in one screen: greedy packs densest,
+// mesh pipelines ~2× faster and stalls least, shard is the only one
+// that survives chip-splitting.
+
+// PlacementRow is one network × placer measurement.
+type PlacementRow struct {
+	Network string       `json:"network"`
+	Placer  string       `json:"placer"`
+	Design  arch.Design  `json:"-"`
+	// Tiles is the distinct tile count of the layout; VCores the logical
+	// allocation (placer-independent).
+	Tiles  int `json:"tiles"`
+	VCores int `json:"vcores"`
+	// TotalHops sums the program's SEND mesh hops; ChipHops the board
+	// hops (sharded layouts pay these).
+	TotalHops int `json:"total_hops"`
+	ChipHops  int `json:"chip_hops"`
+	// LatencyNs is the serial critical path of the placed program.
+	LatencyNs float64 `json:"latency_ns"`
+	// Batch throughput numbers at the requested batch size.
+	Batch             int     `json:"batch"`
+	ThroughputPerSec  float64 `json:"inferences_per_sec"`
+	SteadyStatePerSec float64 `json:"steady_state_per_sec"`
+	LinkWaitNs        float64 `json:"link_wait_ns"`
+	Bottleneck        string  `json:"bottleneck"`
+}
+
+// ComparePlacements runs every zoo network named in networks (nil means
+// all) under every placer, on one design, and reports the table rows.
+// Jobs fan out over cfg.Workers; the result is deterministic at any
+// worker count.
+func ComparePlacements(cfg Config, networks []string, placers []compiler.Placer, d arch.Design, batch int) ([]PlacementRow, error) {
+	if len(networks) == 0 {
+		networks = bnn.ZooNames
+	}
+	if len(placers) == 0 {
+		placers = []compiler.Placer{compiler.GreedyPlacer{}, compiler.MeshPlacer{}, compiler.ShardPlacer{}}
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("eval: batch %d must be ≥ 1", batch)
+	}
+	spec, err := d.Spec()
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	// Tile accounting must use the design's effective geometry (TuneArch
+	// hooks may resize the fabric the placement was computed against).
+	ecfg := spec.EffectiveArch(cfg.Arch)
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
+	np := len(placers)
+	return infer.Map(cfg.Workers, len(networks)*np, func(_, j int) (PlacementRow, error) {
+		name, placer := networks[j/np], placers[j%np]
+		row := PlacementRow{Network: name, Placer: placer.Name(), Design: d, Batch: batch}
+		m, err := bnn.NewModel(name, cfg.Seed)
+		if err != nil {
+			return row, err
+		}
+		c, err := compiler.CompileWith(m, cfg.Arch, d, compiler.Options{Placer: placer})
+		if err != nil {
+			return row, fmt.Errorf("eval: %s/%s: %w", name, placer.Name(), err)
+		}
+		row.VCores = c.VCoresUsed
+		row.Tiles = c.Placement.TotalTiles(ecfg)
+		for _, in := range c.Program {
+			if in.Op == isa.OpSend {
+				row.TotalHops += in.Hops
+				row.ChipHops += in.ChipHops
+			}
+		}
+		eng, err := simulator.NewEngine(c)
+		if err != nil {
+			return row, fmt.Errorf("eval: %s/%s: %w", name, placer.Name(), err)
+		}
+		br, err := eng.RunBatch(batch)
+		if err != nil {
+			return row, fmt.Errorf("eval: %s/%s: %w", name, placer.Name(), err)
+		}
+		row.LatencyNs = br.LatencyNs
+		row.ThroughputPerSec = br.ThroughputPerSec
+		row.SteadyStatePerSec = br.SteadyStatePerSec
+		row.LinkWaitNs = br.LinkWaitNs
+		row.Bottleneck = br.BottleneckName
+		return row, nil
+	})
+}
+
+// PlacementTable renders the comparison as an aligned text table.
+func PlacementTable(rows []PlacementRow) string {
+	var sb strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "Placement comparison on %v (B=%d)\n", rows[0].Design, rows[0].Batch)
+	}
+	fmt.Fprintf(&sb, "%-8s %-7s %6s %7s %5s %6s %12s %11s %11s %12s  %s\n",
+		"network", "placer", "tiles", "vcores", "hops", "chip", "latency_us", "inf/s", "ceiling", "linkwait_us", "bottleneck")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-7s %6d %7d %5d %6d %12.2f %11.0f %11.0f %12.2f  %s\n",
+			r.Network, r.Placer, r.Tiles, r.VCores, r.TotalHops, r.ChipHops,
+			r.LatencyNs/1e3, r.ThroughputPerSec, r.SteadyStatePerSec, r.LinkWaitNs/1e3, r.Bottleneck)
+	}
+	return sb.String()
+}
+
+// WritePlacementCSV emits one row per network×placer.
+func WritePlacementCSV(w io.Writer, rows []PlacementRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"network", "placer", "design", "tiles", "vcores", "total_hops", "chip_hops",
+		"latency_ns", "batch", "inferences_per_sec", "steady_state_per_sec", "link_wait_ns", "bottleneck",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Network, r.Placer, r.Design.String(), strconv.Itoa(r.Tiles), strconv.Itoa(r.VCores),
+			strconv.Itoa(r.TotalHops), strconv.Itoa(r.ChipHops),
+			f(r.LatencyNs), strconv.Itoa(r.Batch), f(r.ThroughputPerSec), f(r.SteadyStatePerSec),
+			f(r.LinkWaitNs), r.Bottleneck,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CoLocate compiles several zoo models onto one shared fabric with
+// disjoint regions and returns the compilations plus the shared-fabric
+// scheduler. This is the serving path's entry point: the multi-model
+// router prices every model against the co-located pipeline.
+func CoLocate(cfg Config, names []string, d arch.Design, placer compiler.Placer) ([]*compiler.Compiled, *sim.EngineSet, error) {
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("eval: no models to co-locate")
+	}
+	if _, err := d.Spec(); err != nil {
+		return nil, nil, fmt.Errorf("eval: %w", err)
+	}
+	var models []*bnn.Model
+	for _, n := range names {
+		m, err := bnn.NewModel(n, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		models = append(models, m)
+	}
+	cs, err := compiler.CompileSet(models, cfg.Arch, d, compiler.SetOptions{Placer: placer})
+	if err != nil {
+		return nil, nil, err
+	}
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		return nil, nil, err
+	}
+	es, err := simulator.NewEngineSet(cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, es, nil
+}

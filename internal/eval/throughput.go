@@ -88,16 +88,20 @@ func ThroughputAt(cfg Config, designs []arch.Design, batches []int) ([]Throughpu
 		if err != nil {
 			return out, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
 		}
-		for _, b := range batches {
-			br, err := eng.RunBatch(b)
-			if err != nil {
-				return out, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
-			}
+		// One incremental schedule pass covers the whole sweep
+		// (Engine.RunBatches) — compilation and scheduling both happen
+		// once per network×design, not once per batch size; results are
+		// bit-identical to the per-size path (test-pinned).
+		brs, err := eng.RunBatches(batches)
+		if err != nil {
+			return out, fmt.Errorf("eval: %s/%v: %w", m.Name(), d, err)
+		}
+		for i, br := range brs {
 			out.LatencyNs = br.LatencyNs
 			out.SteadyStatePerSec = br.SteadyStatePerSec
 			out.BottleneckName = br.BottleneckName
 			out.Points = append(out.Points, ThroughputPoint{
-				Batch: b, PerSec: br.ThroughputPerSec, MakespanNs: br.MakespanNs,
+				Batch: batches[i], PerSec: br.ThroughputPerSec, MakespanNs: br.MakespanNs,
 			})
 		}
 		return out, nil

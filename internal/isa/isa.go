@@ -100,6 +100,17 @@ type Instruction struct {
 	Bytes    int64
 	Hops     int
 	ChipHops int
+	// Src / Dst are region-relative tile operands of placement-aware
+	// SENDs: 1 + the tile index inside the program's placement region
+	// (compiler.Region, invertible via Region.ResolveTile), so 0 means
+	// "unplaced" — legacy and greedy-placed programs leave them unset.
+	// Dst 0 on a placed SEND means the transfer leaves the region (host
+	// egress; ChipHops carries the chip distance). The operands make
+	// placed programs self-describing in dumps, assembly and the wire
+	// encoding; the simulator itself schedules from the richer
+	// Compiled.Placement structure rather than re-deriving routes from
+	// these.
+	Src, Dst int
 	// Comment is free-form annotation (layer name), not encoded.
 	Comment string
 }
@@ -108,7 +119,8 @@ type Instruction struct {
 func (in Instruction) Validate() error {
 	nonneg := in.Tiles >= 0 && in.K >= 0 && in.Bits >= 0 && in.Count >= 0 &&
 		in.Repeat >= 0 && in.Convs >= 0 && in.DACs >= 0 && in.Cells >= 0 &&
-		in.Bytes >= 0 && in.Hops >= 0 && in.ChipHops >= 0
+		in.Bytes >= 0 && in.Hops >= 0 && in.ChipHops >= 0 &&
+		in.Src >= 0 && in.Dst >= 0
 	if !nonneg {
 		return fmt.Errorf("isa: negative operand in %s", in)
 	}
@@ -164,6 +176,8 @@ func (in Instruction) String() string {
 	put("bytes", in.Bytes)
 	put("hops", int64(in.Hops))
 	put("chiphops", int64(in.ChipHops))
+	put("src", int64(in.Src))
+	put("dst", int64(in.Dst))
 	if in.Comment != "" {
 		fmt.Fprintf(&sb, " ; %s", in.Comment)
 	}
@@ -236,7 +250,7 @@ func (p Program) Sections() []Section {
 // --- binary encoding ----------------------------------------------------
 
 // Encode serializes the program (without comments) as a compact byte
-// stream: per instruction, the opcode byte followed by ten varints.
+// stream: per instruction, the opcode byte followed by thirteen varints.
 func (p Program) Encode() []byte {
 	var out []byte
 	var buf [binary.MaxVarintLen64]byte
@@ -257,6 +271,8 @@ func (p Program) Encode() []byte {
 		putv(in.Bytes)
 		putv(int64(in.Hops))
 		putv(int64(in.ChipHops))
+		putv(int64(in.Src))
+		putv(int64(in.Dst))
 	}
 	return out
 }
@@ -295,14 +311,12 @@ func Decode(data []byte) (Program, error) {
 			}
 			*dst = v
 		}
-		if v, err = read(); err != nil {
-			return nil, err
+		for _, dst := range []*int{&in.Hops, &in.ChipHops, &in.Src, &in.Dst} {
+			if v, err = read(); err != nil {
+				return nil, err
+			}
+			*dst = int(v)
 		}
-		in.Hops = int(v)
-		if v, err = read(); err != nil {
-			return nil, err
-		}
-		in.ChipHops = int(v)
 		p = append(p, in)
 	}
 	return p, nil
@@ -363,6 +377,10 @@ func Parse(src string) (Program, error) {
 				in.Hops = int(v)
 			case "chiphops":
 				in.ChipHops = int(v)
+			case "src":
+				in.Src = int(v)
+			case "dst":
+				in.Dst = int(v)
 			default:
 				return nil, fmt.Errorf("isa: line %d: unknown operand %q", lineNo+1, kv[0])
 			}

@@ -217,3 +217,44 @@ func TestSections(t *testing.T) {
 		t.Fatalf("sections cover %d of %d instructions", total, len(p))
 	}
 }
+
+// TestRegionRelativeOperands covers the placement IR's SEND operands:
+// src/dst survive String→Parse and Encode→Decode, render only when
+// set, and negatives are rejected.
+func TestRegionRelativeOperands(t *testing.T) {
+	p := Program{
+		{Op: OpSend, Bytes: 64, Hops: 3, ChipHops: 2, Src: 5, Dst: 12, Comment: "fc0/gather"},
+		{Op: OpSend, Bytes: 8, Hops: 1, Src: 7}, // dst 0 = host egress
+		{Op: OpHalt},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	text := p.String()
+	if !strings.Contains(text, "src=5") || !strings.Contains(text, "dst=12") {
+		t.Fatalf("operands not rendered:\n%s", text)
+	}
+	if strings.Contains(strings.Split(text, "\n")[1], "dst=") {
+		t.Fatalf("zero dst must not render:\n%s", text)
+	}
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed[0].Src != 5 || parsed[0].Dst != 12 || parsed[1].Src != 7 || parsed[1].Dst != 0 {
+		t.Fatalf("parse lost operands: %+v", parsed[:2])
+	}
+	decoded, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if decoded[i].Src != p[i].Src || decoded[i].Dst != p[i].Dst {
+			t.Fatalf("encode/decode lost operands at %d: %+v", i, decoded[i])
+		}
+	}
+	bad := Instruction{Op: OpSend, Bytes: 1, Src: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative src must be invalid")
+	}
+}

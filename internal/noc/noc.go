@@ -141,6 +141,20 @@ func (c Config) RouteXY(a, b int) ([]Link, error) {
 	return route, nil
 }
 
+// ChipDistance is the chip-hop count between two nodes: the serial
+// chip-to-chip links form a linear chain (node i connects to i±1), so a
+// transfer between nodes a and b crosses |a-b| board-level links. This
+// is the ChipHops operand the ShardPlacer stamps on cross-chip gather
+// SENDs, priced by Transfer's chipHops term.
+func (c Config) ChipDistance(a, b int) int { return abs(a - b) }
+
+// EgressTile is the node-local tile that owns the chip's egress port:
+// the mesh corner (0,0), where the memory controller and the
+// chip-to-chip serializer attach. Multi-program engines route host
+// deliveries through it, so co-located models contend for the spine
+// links leading to the corner.
+func (c Config) EgressTile() int { return 0 }
+
 // SerializationNs is how long a transfer of the given size occupies
 // each link on its route: the wormhole body streams one flit per
 // hop-cycle, so the edge is busy for flits × hop latency.

@@ -176,3 +176,97 @@ func TestSerializationNs(t *testing.T) {
 		t.Fatalf("33 bytes: %g ns", got)
 	}
 }
+
+// Chip-egress routing: transfers leaving the chip drain through the
+// egress corner tile. The ShardPlacer relies on the egress spine routes
+// and the chipHops pricing below, so both get explicit coverage.
+
+func TestRouteXYToEgressCorner(t *testing.T) {
+	c := DefaultConfig(4)
+	if e := c.EgressTile(); e != 0 {
+		t.Fatalf("egress tile = %d, want the (0,0) corner", e)
+	}
+	// X-first dimension order: from tile 15 (3,3) the route walks row 3
+	// to column 0, then column 0 up to the corner — the exact spine edges
+	// co-located programs contend on.
+	route, err := c.RouteXY(15, c.EgressTile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Link{{15, 14}, {14, 13}, {13, 12}, {12, 8}, {8, 4}, {4, 0}}
+	if len(route) != len(want) {
+		t.Fatalf("route = %v, want %v", route, want)
+	}
+	for i, l := range route {
+		if l != want[i] {
+			t.Fatalf("route[%d] = %v, want %v", i, l, want[i])
+		}
+	}
+	// Every tile of the bottom row funnels through the same final edge
+	// 4->0: the shared-spine contention the multi-program engine models.
+	for _, from := range []int{4, 8, 12} {
+		r, err := c.RouteXY(from, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := r[len(r)-1]; last != (Link{4, 0}) {
+			t.Fatalf("route %d->0 ends with %v, want 4->0", from, last)
+		}
+	}
+	// Egress from the corner itself uses no mesh links at all.
+	r, err := c.RouteXY(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 0 {
+		t.Fatalf("corner self-route has %d links", len(r))
+	}
+}
+
+func TestChipDistance(t *testing.T) {
+	c := DefaultConfig(4)
+	for _, tc := range []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {0, 3, 3}, {3, 1, 2},
+	} {
+		if got := c.ChipDistance(tc.a, tc.b); got != tc.want {
+			t.Fatalf("ChipDistance(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTransferWithChipHops(t *testing.T) {
+	c := DefaultConfig(4)
+	// 64 bytes = 2 flits, 2 mesh hops + 3 chip hops: the head pays
+	// 2×1 ns mesh + 1 ns body streaming + 3×30 ns board links; energy is
+	// per byte per hop with the chip links an order of magnitude costlier.
+	lat, pj, err := c.Transfer(64, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLat := 2*c.HopLatencyNs + 1*c.HopLatencyNs + 3*c.ChipHopNs
+	if math.Abs(lat-wantLat) > 1e-12 {
+		t.Fatalf("latency = %g, want %g", lat, wantLat)
+	}
+	wantPJ := 64 * (2*c.BytePJ + 3*c.ChipBytePJ)
+	if math.Abs(pj-wantPJ) > 1e-12 {
+		t.Fatalf("energy = %g, want %g", pj, wantPJ)
+	}
+	// Chip hops dominate: one extra chip hop costs more latency than ten
+	// extra mesh hops at default parameters.
+	lat1, _, err := c.Transfer(64, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat10, _, err := c.Transfer(64, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat1 <= lat10 {
+		t.Fatalf("chip hop (%g ns) should cost more than 10 mesh hops (%g ns)", lat1, lat10)
+	}
+	// A pure chip-to-chip transfer (no mesh hops) is legal: the body
+	// still pays flit streaming on the serial link.
+	if _, _, err := c.Transfer(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"einsteinbarrier/internal/sim"
+)
+
+// routerUnderTest builds a started two-model router: MLP-S (784
+// inputs) + CNN-M (3072 inputs), so routing is observable through the
+// accepted shapes.
+func routerUnderTest(t *testing.T) *Router {
+	t.Helper()
+	entries := make([]RouterEntry, 0, 2)
+	for _, name := range []string{"MLP-S", "CNN-M"} {
+		backend, err := NewSoftwareBackend(zooModel(t, name), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Backend: backend, MaxBatch: 8, MaxWait: 100 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, RouterEntry{Name: name, Server: s})
+	}
+	r, err := NewRouter(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r
+}
+
+func inferBody(t *testing.T, n int) string {
+	t.Helper()
+	input := make([]float64, n)
+	for i := range input {
+		input[i] = float64(i%13)/6.0 - 1
+	}
+	body, err := json.Marshal(InferRequest{Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestRouterRoutesByModel(t *testing.T) {
+	r := routerUnderTest(t)
+	h := r.Handler()
+	rec, out := doJSON(t, h, http.MethodPost, "/infer?model=MLP-S", inferBody(t, 784))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("MLP-S: status %d: %v", rec.Code, out)
+	}
+	rec, out = doJSON(t, h, http.MethodPost, "/infer?model=CNN-M", inferBody(t, 3072))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("CNN-M: status %d: %v", rec.Code, out)
+	}
+	// The wrong shape for the routed model is a 400, proving the request
+	// reached CNN-M and not MLP-S.
+	rec, _ = doJSON(t, h, http.MethodPost, "/infer?model=CNN-M", inferBody(t, 784))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("wrong shape: status %d", rec.Code)
+	}
+	// Unknown model is 404; missing model with >1 served is 404 too.
+	rec, _ = doJSON(t, h, http.MethodPost, "/infer?model=nope", inferBody(t, 784))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, h, http.MethodPost, "/infer", inferBody(t, 784))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("ambiguous model: status %d", rec.Code)
+	}
+}
+
+func TestRouterSingleModelDefault(t *testing.T) {
+	backend, err := NewSoftwareBackend(zooModel(t, "MLP-S"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Backend: backend, MaxBatch: 4, MaxWait: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter([]RouterEntry{{Name: "MLP-S", Server: s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+	rec, out := doJSON(t, r.Handler(), http.MethodPost, "/infer", inferBody(t, 784))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, out)
+	}
+}
+
+func TestRouterStatsAndModelsIncludeFabric(t *testing.T) {
+	r := routerUnderTest(t)
+	r.SetFabric(FabricSnapshot{
+		Design: "EinsteinBarrier", Placer: "mesh", Batch: 64,
+		AggregatePerSec: 1000, FairnessJain: 0.99,
+		Models: []FabricModel{
+			{Name: "MLP-S", Region: "n0 [0,0 4x1]", CoLocatedPerSec: 600, IsolatedPerSec: 610, SlowdownX: 1.016},
+			{Name: "CNN-M", Region: "n0 [0,1 4x1]", CoLocatedPerSec: 400, IsolatedPerSec: 400, SlowdownX: 1},
+		},
+	})
+	h := r.Handler()
+	rec, out := doJSON(t, h, http.MethodGet, "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	models, ok := out["models"].(map[string]any)
+	if !ok || len(models) != 2 {
+		t.Fatalf("stats models = %v", out["models"])
+	}
+	fabric, ok := out["fabric"].(map[string]any)
+	if !ok {
+		t.Fatalf("no fabric block in %v", out)
+	}
+	if fabric["placer"] != "mesh" {
+		t.Fatalf("fabric = %v", fabric)
+	}
+	mreq := httptest.NewRequest(http.MethodGet, "/models", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, mreq)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("models status %d", mrec.Code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(mrec.Body.Bytes(), &list); err != nil || len(list) != 2 {
+		t.Fatalf("models payload %q (%v)", mrec.Body.String(), err)
+	}
+	if list[0]["region"] == "" {
+		t.Fatalf("model region missing: %v", list[0])
+	}
+	rec, _ = doJSON(t, h, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+}
+
+func TestNewFabricSnapshotFromSetResult(t *testing.T) {
+	sr := &sim.SetResult{
+		Batch:           32,
+		AggregatePerSec: 123,
+		FairnessJain:    0.9,
+		Models: []sim.SetModelResult{
+			{ModelName: "A", ThroughputPerSec: 10, IsolatedPerSec: 12, SlowdownX: 1.2, LatencyNs: 5},
+		},
+	}
+	snap := NewFabricSnapshot("eb", "greedy", sr)
+	if snap.Batch != 32 || len(snap.Models) != 1 || snap.Models[0].SlowdownX != 1.2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestNewRouterRejectsBadEntries(t *testing.T) {
+	if _, err := NewRouter(nil); err == nil {
+		t.Fatal("empty router must error")
+	}
+	backend, err := NewSoftwareBackend(zooModel(t, "MLP-S"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if _, err := NewRouter([]RouterEntry{{Name: "", Server: s}}); err == nil {
+		t.Fatal("unnamed entry must error")
+	}
+	if _, err := NewRouter([]RouterEntry{{Name: "a", Server: s}, {Name: "a", Server: s}}); err == nil {
+		t.Fatal("duplicate names must error")
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/compiler"
@@ -17,12 +18,20 @@ import (
 // contend for the same NoC links. The Engine models that as a
 // discrete-event pipeline: stages are the SYNC sections (service time =
 // the section's tile-resident critical path, priced by the exact same
-// arithmetic as Run), resources are the tile spans the compiler
-// allocated and the directed mesh links (plus chip-egress ports) the
-// inter-stage transfers traverse. B samples stream through in order;
-// the engine reports the fill latency (B = 1, bit-identical to Run),
-// the makespan, the achieved throughput, and the analytic steady-state
-// bound set by the busiest resource.
+// arithmetic as Run), resources are the tile footprints of the
+// compilation's placement IR and the directed mesh links (plus
+// chip-egress ports) the transfers traverse. B samples stream through
+// in order; the engine reports the fill latency (B = 1, bit-identical
+// to Run), the makespan, the achieved throughput, and the analytic
+// steady-state bound set by the busiest resource.
+//
+// Link traffic follows the placement: a stage's output drains from its
+// shard tiles to its anchor (gather), crosses the XY route to the next
+// stage's anchor — through the chip-egress corner and ChipDistance
+// board links when the placement spans chips — and fans out to the
+// consumer's tiles (scatter). All of a transfer's links are occupied
+// for its serialization time, which is what makes sloppy layouts (and
+// co-located neighbours, see engineset.go) measurably slower.
 //
 // This goes beyond the paper's latency-only evaluation and is
 // documented as an extension in DESIGN.md.
@@ -34,18 +43,166 @@ type linkKey struct {
 	from, to int
 }
 
+// bulkXfer is one drain/prefetch transfer of a stage: a gather from a
+// shard tile to the stage anchor, or a scatter from the consumer's
+// anchor into one of its tiles. Bulk traffic rides its own virtual
+// channel (it never head-of-line-blocks the forward activation path)
+// but its link occupancy is real: colliding bulk transfers stall the
+// drain engines, and a stage whose drain has not finished when the next
+// sample's compute wants the tiles is back-pressured.
+type bulkXfer struct {
+	links []linkKey
+	ports []int
+	serNs float64
+}
+
 // engineStage is one executable pipeline stage.
 type engineStage struct {
 	name      string
 	serviceNs float64 // tile-resident time per sample (analog+digital+SYNC)
 	sendLatNs float64 // head latency of the output transfer
 	sendSerNs float64 // per-link serialization occupancy of the transfer
-	chipSerNs float64 // chip-egress occupancy (0 when the send stays on-node)
-	firstTile int     // global tile span owned by the stage
-	lastTile  int
-	links     []linkKey // mesh links of the XY route to the next stage
-	chipNode  int       // node whose chip-egress port the send uses, -1 if none
-	conflicts []int     // indices of other stages sharing a tile with this one
+	chipSerNs float64 // chip-port occupancy (0 when the send stays on-node)
+	tiles     []int   // global tile footprint owned by the stage
+	links     []linkKey // mesh links of the forward anchor→anchor route
+	chipPorts []int     // nodes whose chip ports the forward route occupies
+	bulk      []bulkXfer // gather + scatter drain traffic
+	conflicts []int // indices of other stages sharing a tile with this one
+}
+
+// busySpan is one booked occupancy of an interconnect resource.
+type busySpan struct{ s, e float64 }
+
+// resClock is the booking calendar of one resource: busy intervals
+// sorted by start. Samples are scheduled sequentially but their
+// transfers are not in global time order (an early stage of sample s+1
+// fires long before the last stage of sample s), so a scalar free-time
+// would serialize transfers that never actually overlap; the calendar
+// books the earliest window that is genuinely free.
+type resClock struct {
+	spans []busySpan
+}
+
+// earliestFree returns the first start ≥ tc where the resource is free
+// for dur.
+func (r *resClock) earliestFree(tc, dur float64) float64 {
+	// Binary search for the first span that could overlap [tc, tc+dur).
+	lo, hi := 0, len(r.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.spans[mid].e <= tc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := tc
+	for i := lo; i < len(r.spans); i++ {
+		if r.spans[i].s >= start+dur {
+			break
+		}
+		if r.spans[i].e > start {
+			start = r.spans[i].e
+		}
+	}
+	return start
+}
+
+// book inserts [start, start+dur) into the calendar.
+func (r *resClock) book(start, dur float64) {
+	lo, hi := 0, len(r.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.spans[mid].s < start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.spans = append(r.spans, busySpan{})
+	copy(r.spans[lo+1:], r.spans[lo:])
+	r.spans[lo] = busySpan{s: start, e: start + dur}
+}
+
+// vcClock is one virtual channel's booking state: a calendar per link
+// and per chip port.
+type vcClock struct {
+	links map[linkKey]*resClock
+	chips map[int]*resClock
+}
+
+func newVCClock() *vcClock {
+	return &vcClock{links: make(map[linkKey]*resClock), chips: make(map[int]*resClock)}
+}
+
+func (f *vcClock) reset() {
+	clear(f.links)
+	clear(f.chips)
+}
+
+func (f *vcClock) link(k linkKey) *resClock {
+	r := f.links[k]
+	if r == nil {
+		r = &resClock{}
+		f.links[k] = r
+	}
+	return r
+}
+
+func (f *vcClock) chip(n int) *resClock {
+	r := f.chips[n]
+	if r == nil {
+		r = &resClock{}
+		f.chips[n] = r
+	}
+	return r
+}
+
+// bookXfer books one transfer on the channel: the earliest window at or
+// after ready in which every link and port is simultaneously free.
+// Returns the booked start. The fixed point terminates because every
+// retry jumps past some already-booked interval.
+func (f *vcClock) bookXfer(ready float64, links []linkKey, ports []int, serNs, portNs float64) float64 {
+	start := ready
+	for {
+		next := start
+		for _, l := range links {
+			next = math.Max(next, f.link(l).earliestFree(next, serNs))
+		}
+		for _, p := range ports {
+			next = math.Max(next, f.chip(p).earliestFree(next, portNs))
+		}
+		if next == start {
+			break
+		}
+		start = next
+	}
+	for _, l := range links {
+		f.link(l).book(start, serNs)
+	}
+	for _, p := range ports {
+		f.chip(p).book(start, portNs)
+	}
+	return start
+}
+
+// fabricClock is the shared booking state of the interconnect: the
+// forward activation channel (anchor→anchor routes, gates sample
+// progress) and the bulk channel (gather/scatter drain traffic,
+// occupancy + back-pressure only). Each Engine owns one for isolated
+// runs; an EngineSet hands the same clock to every co-located engine.
+type fabricClock struct {
+	fwd  *vcClock
+	bulk *vcClock
+}
+
+func newFabricClock() *fabricClock {
+	return &fabricClock{fwd: newVCClock(), bulk: newVCClock()}
+}
+
+func (f *fabricClock) reset() {
+	f.fwd.reset()
+	f.bulk.reset()
 }
 
 // Engine schedules batches of inferences over the pipeline of one
@@ -53,14 +210,17 @@ type engineStage struct {
 // after construction and safe for concurrent RunBatch calls only if
 // each caller uses its own Engine (RunBatch carries internal scratch).
 type Engine struct {
-	res    *Result
-	stages []engineStage
-	mesh   noc.Config
+	res       *Result
+	stages    []engineStage
+	mesh      noc.Config
+	placement *compiler.Placement
+	fb        *fabricClock // private clock for isolated runs
 	// scratch reused across RunBatch calls.
-	tileFree []float64
-	linkFree map[linkKey]float64
-	chipFree map[int]float64
-	busyNs   []float64
+	tileFree   []float64
+	busyNs     []float64
+	drainReady []float64 // when each stage's previous drain completes
+	// cursor state for the incremental sample scheduler.
+	linkWaitNs float64
 }
 
 // NewEngine lowers a compiled model into pipeline stages. The embedded
@@ -83,81 +243,188 @@ func (s *Simulator) NewEngine(c *compiler.Compiled) (*Engine, error) {
 	if len(costs) == 0 {
 		return nil, fmt.Errorf("sim: program has no pipeline stages")
 	}
-	// Tile spans come from the compiler's allocation: the i-th stage is
-	// the i-th VCore-owning layer (shape layers fuse into their
-	// producer and own no section).
-	spans := make([]compiler.LayerAlloc, 0, len(costs))
-	for _, a := range c.Allocs {
-		if a.Kind == "shape" {
-			continue
+	pl := c.Placement
+	if pl == nil {
+		// Pre-placement-IR compilations: derive the legacy greedy layout
+		// from the allocation.
+		if pl, err = fallbackPlacement(c, cfg); err != nil {
+			return nil, err
 		}
-		spans = append(spans, a)
 	}
-	if len(spans) != len(costs) {
-		return nil, fmt.Errorf("sim: %d pipeline stages but %d placed layers", len(costs), len(spans))
+	if err := pl.Validate(cfg); err != nil {
+		return nil, err
 	}
-	vcoresPerTile := cfg.ECoresPerTile * cfg.VCoresPerECore
-	e := &Engine{res: res, mesh: mesh,
-		linkFree: make(map[linkKey]float64), chipFree: make(map[int]float64)}
+	if len(pl.Layers) != len(costs) {
+		return nil, fmt.Errorf("sim: %d pipeline stages but %d placed layers", len(costs), len(pl.Layers))
+	}
+	e := &Engine{res: res, mesh: mesh, placement: pl, fb: newFabricClock()}
 	e.stages = make([]engineStage, len(costs))
 	for i, sc := range costs {
-		a := spans[i]
-		first := a.FirstVCore / vcoresPerTile
-		last := first
-		if a.VCores > 0 {
-			last = (a.FirstVCore + a.VCores - 1) / vcoresPerTile
-		}
 		st := engineStage{
 			name:      sc.name,
 			serviceNs: sc.serviceNs,
 			sendLatNs: sc.sendLatNs,
-			firstTile: first,
-			lastTile:  last,
-			chipNode:  -1,
+			tiles:     pl.GlobalTiles(i, cfg),
 		}
 		if sc.sendBytes > 0 {
 			st.sendSerNs = mesh.SerializationNs(sc.sendBytes)
-			srcNode, srcTile := first/cfg.TilesPerNode, first%cfg.TilesPerNode
+			st.chipSerNs = mesh.ChipHopNs
+			srcChip, srcTile := pl.Layers[i].Anchor()
+			// Forward route: anchor to the consumer's anchor (or the host
+			// through the egress corner after the last stage).
+			lb := newLinkBuilder(mesh, cfg)
+			dstChip, dstTile := -1, 0
 			if i+1 < len(costs) {
-				dstFirst := spans[i+1].FirstVCore / vcoresPerTile
-				dstNode, dstTile := dstFirst/cfg.TilesPerNode, dstFirst%cfg.TilesPerNode
-				links, err := mesh.RouteXY(srcTile, dstTile)
-				if err != nil {
-					return nil, err
+				dstChip, dstTile = pl.Layers[i+1].Anchor()
+			}
+			if err := lb.addRoute(srcChip, srcTile, dstChip, dstTile); err != nil {
+				return nil, err
+			}
+			st.links, st.chipPorts = lb.build()
+			// Bulk drain traffic: one gather per non-anchor tile of this
+			// stage (each carries its slice of the output) and one
+			// scatter per tile of the consumer (the activation is
+			// broadcast — every consumer tile needs the full input).
+			nTiles := len(st.tiles)
+			gatherSer := mesh.SerializationNs((sc.sendBytes + int64(nTiles) - 1) / int64(nTiles))
+			addBulk := func(sc2, st2, dc, dt int, ser float64) error {
+				b := newLinkBuilder(mesh, cfg)
+				if err := b.addRoute(sc2, st2, dc, dt); err != nil {
+					return err
 				}
-				for _, l := range links {
-					st.links = append(st.links, linkKey{node: srcNode, from: l.From, to: l.To})
+				links, ports := b.build()
+				if len(links)+len(ports) == 0 {
+					return nil
 				}
-				if dstNode != srcNode {
-					st.chipNode = srcNode
-					st.chipSerNs = mesh.ChipHopNs
+				st.bulk = append(st.bulk, bulkXfer{links: links, ports: ports, serNs: ser})
+				return nil
+			}
+			for _, sh := range pl.Layers[i].Shards {
+				for _, t := range sh.Tiles {
+					if sh.Chip == srcChip && t == srcTile {
+						continue
+					}
+					if err := addBulk(sh.Chip, t, srcChip, srcTile, gatherSer); err != nil {
+						return nil, err
+					}
 				}
-			} else {
-				// The last stage delivers logits to the host through its
-				// node's chip-egress port.
-				st.chipNode = srcNode
-				st.chipSerNs = mesh.ChipHopNs
+			}
+			if i+1 < len(costs) {
+				for _, sh := range pl.Layers[i+1].Shards {
+					for _, t := range sh.Tiles {
+						if sh.Chip == dstChip && t == dstTile {
+							continue
+						}
+						if err := addBulk(dstChip, dstTile, sh.Chip, t, st.sendSerNs); err != nil {
+							return nil, err
+						}
+					}
+				}
 			}
 		}
 		e.stages[i] = st
 	}
-	// Stages whose tile spans overlap (the linear allocator packs layer
-	// boundaries into shared tiles) cannot compute concurrently.
+	// Stages whose tile footprints overlap (the greedy allocator packs
+	// layer boundaries into shared tiles) cannot compute concurrently.
 	for i := range e.stages {
+		ti := map[int]bool{}
+		for _, t := range e.stages[i].tiles {
+			ti[t] = true
+		}
 		for j := range e.stages {
 			if i == j {
 				continue
 			}
-			if e.stages[i].firstTile <= e.stages[j].lastTile &&
-				e.stages[j].firstTile <= e.stages[i].lastTile {
-				e.stages[i].conflicts = append(e.stages[i].conflicts, j)
+			for _, t := range e.stages[j].tiles {
+				if ti[t] {
+					e.stages[i].conflicts = append(e.stages[i].conflicts, j)
+					break
+				}
 			}
 		}
 	}
 	e.tileFree = make([]float64, len(e.stages))
 	e.busyNs = make([]float64, len(e.stages))
+	e.drainReady = make([]float64, len(e.stages))
 	return e, nil
 }
+
+// fallbackPlacement reconstructs the greedy layout from a compilation's
+// allocation, for Compileds built without the placement IR.
+func fallbackPlacement(c *compiler.Compiled, cfg arch.Config) (*compiler.Placement, error) {
+	var demands []compiler.LayerDemand
+	for _, a := range c.Allocs {
+		if a.Kind == "shape" {
+			continue
+		}
+		demands = append(demands, compiler.LayerDemand{Name: a.Name, VCores: a.VCores, Bytes: 1})
+	}
+	return compiler.GreedyPlacer{}.Place(demands, cfg, compiler.FullFabric(cfg))
+}
+
+// linkBuilder accumulates the deduplicated link and chip-port sets of
+// one stage's transfers, in first-seen order for determinism.
+type linkBuilder struct {
+	mesh  noc.Config
+	cfg   arch.Config
+	links []linkKey
+	ports []int
+	seenL map[linkKey]bool
+	seenP map[int]bool
+}
+
+func newLinkBuilder(mesh noc.Config, cfg arch.Config) *linkBuilder {
+	return &linkBuilder{mesh: mesh, cfg: cfg, seenL: map[linkKey]bool{}, seenP: map[int]bool{}}
+}
+
+func (lb *linkBuilder) addLinks(node int, route []noc.Link) {
+	for _, l := range route {
+		k := linkKey{node: node, from: l.From, to: l.To}
+		if !lb.seenL[k] {
+			lb.seenL[k] = true
+			lb.links = append(lb.links, k)
+		}
+	}
+}
+
+func (lb *linkBuilder) addPort(node int) {
+	if !lb.seenP[node] {
+		lb.seenP[node] = true
+		lb.ports = append(lb.ports, node)
+	}
+}
+
+// addRoute adds the links of one transfer. dstChip -1 means the host:
+// the transfer drains to the source chip's egress corner and out its
+// port.
+func (lb *linkBuilder) addRoute(srcChip, srcTile, dstChip, dstTile int) error {
+	if srcChip == dstChip {
+		route, err := lb.mesh.RouteXY(srcTile, dstTile)
+		if err != nil {
+			return err
+		}
+		lb.addLinks(srcChip, route)
+		return nil
+	}
+	out, err := lb.mesh.RouteXY(srcTile, lb.mesh.EgressTile())
+	if err != nil {
+		return err
+	}
+	lb.addLinks(srcChip, out)
+	lb.addPort(srcChip)
+	if dstChip < 0 {
+		return nil
+	}
+	lb.addPort(dstChip)
+	in, err := lb.mesh.RouteXY(lb.mesh.EgressTile(), dstTile)
+	if err != nil {
+		return err
+	}
+	lb.addLinks(dstChip, in)
+	return nil
+}
+
+func (lb *linkBuilder) build() ([]linkKey, []int) { return lb.links, lb.ports }
 
 // Result returns the embedded single-inference pricing (bit-identical
 // to Simulator.Run on the same compilation).
@@ -171,7 +438,7 @@ type StageOccupancy struct {
 	Name      string
 	ServiceNs float64 // per-sample tile-resident service time
 	SendNs    float64 // per-sample transfer head latency
-	Tiles     int     // tile span owned by the stage
+	Tiles     int     // tile footprint owned by the stage
 	Busy      float64 // fraction of the makespan the stage's tiles are busy
 }
 
@@ -189,7 +456,7 @@ type BatchResult struct {
 	// ThroughputPerSec is Batch / Makespan.
 	ThroughputPerSec float64
 	// SteadyStatePerSec is the analytic throughput ceiling: the busiest
-	// resource (tile span, mesh link or chip port) bounds the
+	// resource (tile footprint, mesh link or chip port) bounds the
 	// per-sample interval at saturation.
 	SteadyStatePerSec float64
 	// BottleneckName names that resource.
@@ -206,52 +473,64 @@ type BatchResult struct {
 	Stages []StageOccupancy
 }
 
-// RunBatch streams a batch of b inferences through the pipeline and
-// returns the timing report. Deterministic: same engine, same b, same
-// result.
-func (e *Engine) RunBatch(b int) (*BatchResult, error) {
-	if b < 1 {
-		return nil, fmt.Errorf("sim: batch size %d must be ≥ 1", b)
-	}
+// resetLocal clears the engine-owned scheduling state (tile clocks,
+// busy accounting, drain back-pressure); the fabric clock is reset by
+// whoever owns it — the engine itself for isolated runs, the EngineSet
+// for co-located ones.
+func (e *Engine) resetLocal() {
 	for i := range e.tileFree {
 		e.tileFree[i] = 0
 		e.busyNs[i] = 0
+		e.drainReady[i] = 0
 	}
-	clear(e.linkFree)
-	clear(e.chipFree)
+	e.linkWaitNs = 0
+}
 
-	makespan := 0.0
-	linkWait := 0.0
-	for sample := 0; sample < b; sample++ {
-		t := 0.0 // completion time of the previous stage for this sample
-		for si := range e.stages {
-			st := &e.stages[si]
-			start := math.Max(t, e.tileFree[si])
-			for _, cj := range st.conflicts {
-				start = math.Max(start, e.tileFree[cj])
-			}
-			computeDone := start + st.serviceNs
-			e.tileFree[si] = computeDone
-			e.busyNs[si] += st.serviceNs
-			sendStart := computeDone
-			for _, l := range st.links {
-				sendStart = math.Max(sendStart, e.linkFree[l])
-			}
-			if st.chipNode >= 0 {
-				sendStart = math.Max(sendStart, e.chipFree[st.chipNode])
-			}
-			linkWait += sendStart - computeDone
-			for _, l := range st.links {
-				e.linkFree[l] = sendStart + st.sendSerNs
-			}
-			if st.chipNode >= 0 {
-				e.chipFree[st.chipNode] = sendStart + st.chipSerNs
-			}
-			t = sendStart + st.sendLatNs
+// resetRun clears the per-run scheduling state.
+func (e *Engine) resetRun() {
+	e.resetLocal()
+	e.fb.reset()
+}
+
+// runSample schedules one sample through every stage against the given
+// fabric clock and returns its completion time. Deterministic greedy
+// list scheduling: the forward transfer books the earliest window in
+// which every link and chip port on its route is simultaneously free;
+// bulk drain traffic books on its own channel and back-pressures the
+// stage's next sample instead of blocking this one.
+func (e *Engine) runSample(fb *fabricClock) float64 {
+	t := 0.0 // completion time of the previous stage for this sample
+	for si := range e.stages {
+		st := &e.stages[si]
+		// Back-pressure: the tiles' drain of the previous sample must
+		// finish before they take the next one.
+		start := math.Max(math.Max(t, e.tileFree[si]), e.drainReady[si])
+		for _, cj := range st.conflicts {
+			start = math.Max(start, e.tileFree[cj])
 		}
-		makespan = t
+		computeDone := start + st.serviceNs
+		e.tileFree[si] = computeDone
+		e.busyNs[si] += st.serviceNs
+		sendStart := computeDone
+		if len(st.links)+len(st.chipPorts) > 0 {
+			sendStart = fb.fwd.bookXfer(computeDone, st.links, st.chipPorts, st.sendSerNs, st.chipSerNs)
+		}
+		e.linkWaitNs += sendStart - computeDone
+		drainEnd := computeDone
+		for _, bt := range st.bulk {
+			bs := fb.bulk.bookXfer(computeDone, bt.links, bt.ports, bt.serNs, st.chipSerNs)
+			e.linkWaitNs += bs - computeDone
+			drainEnd = math.Max(drainEnd, bs+bt.serNs)
+		}
+		e.drainReady[si] = drainEnd
+		t = sendStart + st.sendLatNs
 	}
+	return t
+}
 
+// snapshot assembles a BatchResult for the first b samples of the
+// current run (makespan = completion time of sample b-1).
+func (e *Engine) snapshot(b int, makespan float64) *BatchResult {
 	out := &BatchResult{
 		ModelName:            e.res.ModelName,
 		Design:               e.res.Design,
@@ -259,7 +538,7 @@ func (e *Engine) RunBatch(b int) (*BatchResult, error) {
 		LatencyNs:            e.res.LatencyNs,
 		MakespanNs:           makespan,
 		ThroughputPerSec:     float64(b) * 1e9 / makespan,
-		LinkWaitNs:           linkWait,
+		LinkWaitNs:           e.linkWaitNs,
 		EnergyPJPerInference: e.res.EnergyPJ(),
 	}
 	out.BottleneckNs, out.BottleneckName = e.bottleneck()
@@ -269,9 +548,55 @@ func (e *Engine) RunBatch(b int) (*BatchResult, error) {
 			Name:      st.name,
 			ServiceNs: st.serviceNs,
 			SendNs:    st.sendLatNs,
-			Tiles:     st.lastTile - st.firstTile + 1,
+			Tiles:     len(st.tiles),
 			Busy:      e.busyNs[si] / makespan,
 		})
+	}
+	return out
+}
+
+// RunBatch streams a batch of b inferences through the pipeline and
+// returns the timing report. Deterministic: same engine, same b, same
+// result.
+func (e *Engine) RunBatch(b int) (*BatchResult, error) {
+	rs, err := e.RunBatches([]int{b})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// RunBatches sweeps several batch sizes in ONE schedule pass: the
+// scheduler is incremental in the sample index, so the b-sample result
+// is a snapshot of the maxB-sample run after sample b. Results are
+// bit-identical to calling RunBatch per size (pinned by tests) at a
+// fraction of the cost — the throughput sweep used to re-run the whole
+// schedule per batch size.
+func (e *Engine) RunBatches(bs []int) ([]*BatchResult, error) {
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("sim: no batch sizes given")
+	}
+	maxB := 0
+	for _, b := range bs {
+		if b < 1 {
+			return nil, fmt.Errorf("sim: batch size %d must be ≥ 1", b)
+		}
+		maxB = max(maxB, b)
+	}
+	want := make(map[int][]int, len(bs)) // batch size → result indices
+	for i, b := range bs {
+		want[b] = append(want[b], i)
+	}
+	out := make([]*BatchResult, len(bs))
+	e.resetRun()
+	for sample := 0; sample < maxB; sample++ {
+		t := e.runSample(e.fb)
+		if idxs, ok := want[sample+1]; ok {
+			r := e.snapshot(sample+1, t)
+			for _, i := range idxs {
+				out[i] = r
+			}
+		}
 	}
 	return out, nil
 }
@@ -280,18 +605,15 @@ func (e *Engine) RunBatch(b int) (*BatchResult, error) {
 // the steady-state inter-departure interval of the saturated pipeline.
 // Deterministic: ties resolve to the earliest stage/resource.
 func (e *Engine) bottleneck() (ns float64, name string) {
-	// Tile busy: stage spans are intervals over the global tile index,
-	// so the max per-tile service sum is the exact serialization bound
-	// (intervals that pairwise overlap share a common tile — Helly's
-	// theorem in one dimension — and stages sharing a tile cannot
-	// compute concurrently).
+	// Tile busy: stages sharing a tile cannot compute concurrently, so
+	// the max per-tile service sum is the serialization bound.
 	tileBusy := map[int]float64{}
 	maxTile := 0
 	for _, st := range e.stages {
-		for t := st.firstTile; t <= st.lastTile; t++ {
+		for _, t := range st.tiles {
 			tileBusy[t] += st.serviceNs
+			maxTile = max(maxTile, t)
 		}
-		maxTile = max(maxTile, st.lastTile)
 	}
 	bneckTile := -1
 	for t := 0; t <= maxTile; t++ {
@@ -303,17 +625,27 @@ func (e *Engine) bottleneck() (ns float64, name string) {
 		// Name the heaviest stage occupying the bottleneck tile.
 		heaviest := -1.0
 		for _, st := range e.stages {
-			if st.firstTile <= bneckTile && bneckTile <= st.lastTile && st.serviceNs > heaviest {
-				heaviest, name = st.serviceNs, st.name
+			for _, t := range st.tiles {
+				if t == bneckTile && st.serviceNs > heaviest {
+					heaviest, name = st.serviceNs, st.name
+				}
 			}
 		}
 	}
 	// Mesh links and chip ports: transfers crossing the same edge
-	// serialize. Accumulate in first-seen order for determinism.
+	// serialize (per virtual channel — forward and bulk traffic are
+	// tracked separately, matching the scheduler). Accumulate in
+	// first-seen order for determinism.
+	// Ports are booked per channel in the scheduler (fwd and bulk have
+	// independent calendars), so their busy sums must stay separate too
+	// — merging them would report a "ceiling" below what the schedule
+	// actually sustains.
 	linkBusy := map[linkKey]float64{}
 	chipBusy := map[int]float64{}
-	var linkOrder []linkKey
-	var chipOrder []int
+	bulkBusy := map[linkKey]float64{}
+	bulkChipBusy := map[int]float64{}
+	var linkOrder, bulkOrder []linkKey
+	var chipOrder, bulkChipOrder []int
 	for _, st := range e.stages {
 		for _, l := range st.links {
 			if _, seen := linkBusy[l]; !seen {
@@ -321,11 +653,30 @@ func (e *Engine) bottleneck() (ns float64, name string) {
 			}
 			linkBusy[l] += st.sendSerNs
 		}
-		if st.chipNode >= 0 {
-			if _, seen := chipBusy[st.chipNode]; !seen {
-				chipOrder = append(chipOrder, st.chipNode)
+		for _, p := range st.chipPorts {
+			if _, seen := chipBusy[p]; !seen {
+				chipOrder = append(chipOrder, p)
 			}
-			chipBusy[st.chipNode] += st.chipSerNs
+			chipBusy[p] += st.chipSerNs
+		}
+		for _, bt := range st.bulk {
+			for _, l := range bt.links {
+				if _, seen := bulkBusy[l]; !seen {
+					bulkOrder = append(bulkOrder, l)
+				}
+				bulkBusy[l] += bt.serNs
+			}
+			for _, p := range bt.ports {
+				if _, seen := bulkChipBusy[p]; !seen {
+					bulkChipOrder = append(bulkChipOrder, p)
+				}
+				bulkChipBusy[p] += st.chipSerNs
+			}
+		}
+	}
+	for _, l := range bulkOrder {
+		if busy := bulkBusy[l]; busy > ns {
+			ns, name = busy, fmt.Sprintf("bulk-link n%d:%d->%d", l.node, l.from, l.to)
 		}
 	}
 	for _, l := range linkOrder {
@@ -335,8 +686,30 @@ func (e *Engine) bottleneck() (ns float64, name string) {
 	}
 	for _, n := range chipOrder {
 		if busy := chipBusy[n]; busy > ns {
-			ns, name = busy, fmt.Sprintf("chip-egress n%d", n)
+			ns, name = busy, fmt.Sprintf("chip-port n%d", n)
+		}
+	}
+	for _, n := range bulkChipOrder {
+		if busy := bulkChipBusy[n]; busy > ns {
+			ns, name = busy, fmt.Sprintf("bulk-chip-port n%d", n)
 		}
 	}
 	return ns, name
+}
+
+// tileSet returns the engine's global tile footprint, sorted (the
+// EngineSet disjointness check).
+func (e *Engine) tileSet() []int {
+	seen := map[int]bool{}
+	for _, st := range e.stages {
+		for _, t := range st.tiles {
+			seen[t] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
 }
