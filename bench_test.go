@@ -240,6 +240,29 @@ func BenchmarkWDM(b *testing.B) {
 	}
 }
 
+// BenchmarkCalibration is the regression gate's clock: a fixed,
+// dependency-free integer workload (splitmix64 over 64Ki steps) whose
+// ns/op tracks raw host speed. cmd/benchgate divides every gated
+// benchmark's ns/op by this before comparing against
+// bench_baseline.json, so a uniformly slower CI runner does not read as
+// a regression — only changes relative to the machine do.
+func BenchmarkCalibration(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9e3779b97f4a7c15)
+		for j := 0; j < 1<<16; j++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			sink ^= z ^ (z >> 31)
+		}
+	}
+	if sink == 42 {
+		b.Log(sink) // defeat dead-code elimination
+	}
+}
+
 // BenchmarkBitops measures the packed software kernel (the GPU/CPU
 // reference floor for Eq. (1)).
 func BenchmarkBitops(b *testing.B) {
@@ -292,6 +315,72 @@ func BenchmarkBitops(b *testing.B) {
 			_ = w.Transpose()
 		}
 	})
+}
+
+// BenchmarkBitBatch measures the batch-major bit-parallel path (E10):
+// 64 samples per machine word through pack/unpack, the fused
+// XNOR+popcount+sign batch kernel, and the full model forward. The
+// ns/sample metric is the per-inference cost at lane width 64; compare
+// against BenchmarkBitops (one sample per call) and the serial64 runs
+// for the bit-parallel speedup.
+func BenchmarkBitBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const feat, lanes = 1024, 64
+	samples := make([]*bitops.Vector, lanes)
+	for s := range samples {
+		samples[s] = bitops.NewVector(feat)
+		for f := 0; f < feat; f++ {
+			if rng.Intn(2) == 1 {
+				samples[s].Set(f)
+			}
+		}
+	}
+	batch := bitops.PackSamples(samples)
+	b.Run(fmt.Sprintf("PackSamples/%dx%d", feat, lanes), func(b *testing.B) {
+		b.SetBytes(int64(feat * lanes / 8))
+		for i := 0; i < b.N; i++ {
+			batch = bitops.PackSamplesInto(samples, batch)
+		}
+	})
+	w := bitops.NewMatrix(1024, feat)
+	thresh := make([]int, 1024)
+	for r := 0; r < 1024; r++ {
+		thresh[r] = rng.Intn(65) - 32
+		for c := 0; c < feat; c++ {
+			w.Set(r, c, rng.Intn(2) == 1)
+		}
+	}
+	out := bitops.NewBitBatch(1024, lanes)
+	var scr bitops.BatchScratch
+	b.Run(fmt.Sprintf("BipolarSignBatch/1024x%dx%d", feat, lanes), func(b *testing.B) {
+		b.SetBytes(int64(1024 * feat / 8))
+		for i := 0; i < b.N; i++ {
+			out = w.BipolarSignBatchInto(batch, thresh, out, &scr)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/lanes, "ns/sample")
+	})
+	for _, name := range []string{"MLP-S", "CNN-S"} {
+		model, err := bnn.NewModel(name, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs := make([]*tensor.Float, lanes)
+		for i := range xs {
+			xs[i] = tensor.NewFloat(model.InputShape...)
+			for j := range xs[i].Data() {
+				xs[i].Data()[j] = rng.NormFloat64()
+			}
+		}
+		b.Run(fmt.Sprintf("InferBatchBits/%s/batch=%d", name, lanes), func(b *testing.B) {
+			model.InferBatchBits(xs) // warm model-owned scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model.InferBatchBits(xs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/lanes, "ns/sample")
+		})
+	}
 }
 
 // BenchmarkPipeline regenerates the batch-throughput extension: the

@@ -1,0 +1,222 @@
+// Command benchgate is the benchmark regression gate: it compares a
+// `go test -bench` output stream against the checked-in
+// bench_baseline.json and fails when a gated benchmark regressed.
+//
+//	go test -run xxx -bench '<gate regex>' -benchmem -count 3 . | tee gate.out
+//	benchgate -baseline bench_baseline.json gate.out        # gate (CI)
+//	benchgate -baseline bench_baseline.json -write gate.out # regenerate baseline
+//
+// Raw ns/op is meaningless across machines, so every timing is
+// normalized by the BenchmarkCalibration result from the SAME run — a
+// fixed integer workload that tracks host speed. A benchmark fails the
+// gate when its calibration-normalized time exceeds the baseline's by
+// more than -tolerance (default 10%). Allocations need no
+// normalization: a benchmark whose baseline is 0 allocs/op must stay at
+// 0 — the zero-alloc contracts of the hot paths are part of the gate.
+// With -count > 1 the minimum across repetitions is compared, which
+// filters scheduler noise on shared CI runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// Baseline is the checked-in gate reference.
+type Baseline struct {
+	// Calibration names the normalizing benchmark.
+	Calibration string `json:"calibration"`
+	// CalibrationNs is the calibration benchmark's ns/op on the machine
+	// that produced the baseline.
+	CalibrationNs float64 `json:"calibration_ns_per_op"`
+	// Entries are the gated benchmarks, sorted by name.
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one gated benchmark.
+type Entry struct {
+	Name string `json:"name"`
+	// NsPerOp is the raw timing on the baseline machine; the gate
+	// compares NsPerOp/CalibrationNs ratios, never raw numbers.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is gated strictly when 0 (zero-alloc contracts).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// result is one benchmark measured from the input stream (min over
+// repetitions).
+type result struct {
+	ns     float64
+	allocs int64
+	seen   int
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkFoo/bar-8   100   12345 ns/op   7 B/op   2 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
+
+// parse reads benchmark output and folds repeated runs of one name to
+// the minimum ns/op (and minimum allocs/op).
+func parse(r io.Reader) (map[string]*result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*result{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		allocs := int64(-1)
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			allocs, _ = strconv.ParseInt(am[1], 10, 64)
+		}
+		r, ok := out[m[1]]
+		if !ok {
+			out[m[1]] = &result{ns: ns, allocs: allocs, seen: 1}
+			continue
+		}
+		r.seen++
+		if ns < r.ns {
+			r.ns = ns
+		}
+		if allocs >= 0 && (r.allocs < 0 || allocs < r.allocs) {
+			r.allocs = allocs
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baselinePath := fs.String("baseline", "bench_baseline.json", "checked-in baseline to gate against (or to write with -write)")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional slowdown of the calibration-normalized time")
+	calibration := fs.String("calibration", "BenchmarkCalibration", "normalizing benchmark name")
+	write := fs.Bool("write", false, "regenerate the baseline from the input instead of gating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: benchgate [flags] <bench-output-file> (use - for stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	calib, ok := results[*calibration]
+	if !ok {
+		return fmt.Errorf("input has no %s result — the gate cannot normalize timings without it", *calibration)
+	}
+
+	if *write {
+		return writeBaseline(*baselinePath, *calibration, calib.ns, results, out)
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", *baselinePath, err)
+	}
+	if base.Calibration != *calibration {
+		return fmt.Errorf("baseline normalizes by %q, gate run by %q", base.Calibration, *calibration)
+	}
+	if base.CalibrationNs <= 0 {
+		return fmt.Errorf("baseline calibration ns/op %v must be > 0", base.CalibrationNs)
+	}
+
+	var failures []string
+	fmt.Fprintf(out, "benchgate: calibration %s %.0f ns/op (baseline %.0f; machine factor %.2fx)\n",
+		*calibration, calib.ns, base.CalibrationNs, calib.ns/base.CalibrationNs)
+	for _, e := range base.Entries {
+		cur, ok := results[e.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from input", e.Name))
+			continue
+		}
+		rel := (cur.ns / calib.ns) / (e.NsPerOp / base.CalibrationNs)
+		status := "ok"
+		if rel > 1+*tolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% slower than baseline (normalized; tolerance %.0f%%)",
+				e.Name, (rel-1)*100, *tolerance*100))
+		}
+		fmt.Fprintf(out, "  %-60s %10.0f ns/op  %+7.1f%% %s\n", e.Name, cur.ns, (rel-1)*100, status)
+		if e.AllocsPerOp == 0 && cur.allocs > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline pins 0", e.Name, cur.allocs))
+			fmt.Fprintf(out, "  %-60s %10d allocs/op, want 0 FAIL\n", e.Name, cur.allocs)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "benchgate: %d benchmarks within %.0f%% of baseline\n", len(base.Entries), *tolerance*100)
+	return nil
+}
+
+// writeBaseline regenerates the baseline file from measured results:
+// every benchmark in the input except the calibration itself becomes a
+// gated entry.
+func writeBaseline(path, calibration string, calibNs float64, results map[string]*result, out io.Writer) error {
+	base := Baseline{Calibration: calibration, CalibrationNs: calibNs}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		if name != calibration {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := results[name]
+		allocs := r.allocs
+		if allocs < 0 {
+			allocs = -1 // -benchmem was off; never alloc-gated
+		}
+		base.Entries = append(base.Entries, Entry{Name: name, NsPerOp: r.ns, AllocsPerOp: allocs})
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchgate: wrote %d entries to %s\n", len(base.Entries), path)
+	return nil
+}

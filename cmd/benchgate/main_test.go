@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+BenchmarkCalibration-8     	     100	     50000 ns/op
+BenchmarkKernel/fast-8     	    1000	      1000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernel/fast-8     	    1000	      1100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkModel/big-8       	      10	    200000 ns/op	    4096 B/op	      12 allocs/op
+PASS
+`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTakesMinOverRepeats(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := results["BenchmarkKernel/fast"]
+	if k == nil || k.ns != 1000 || k.allocs != 0 || k.seen != 2 {
+		t.Fatalf("kernel result = %+v", k)
+	}
+	if c := results["BenchmarkCalibration"]; c == nil || c.ns != 50000 || c.allocs != -1 {
+		t.Fatalf("calibration result = %+v", results["BenchmarkCalibration"])
+	}
+}
+
+func TestWriteThenGateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "bench.out", sampleBench)
+	baseline := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-write", bench}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.CalibrationNs != 50000 || len(base.Entries) != 2 {
+		t.Fatalf("baseline = %+v", base)
+	}
+	// Gating the same output against its own baseline passes.
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, bench}, &out); err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateNormalizesByCalibration(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-write",
+		writeFile(t, dir, "base.out", sampleBench)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Everything 3x slower, calibration included: a slower machine, not a
+	// regression — the gate must pass.
+	slower := strings.NewReplacer(
+		"50000 ns/op", "150000 ns/op",
+		"1000 ns/op", "3000 ns/op",
+		"1100 ns/op", "3300 ns/op",
+		"200000 ns/op", "600000 ns/op",
+	).Replace(sampleBench)
+	out.Reset()
+	if err := run([]string{"-baseline", baseline,
+		writeFile(t, dir, "slow.out", slower)}, &out); err != nil {
+		t.Fatalf("uniformly slower machine flagged as regression: %v\n%s", err, out.String())
+	}
+	// One benchmark ~60% slower (both repeats) with calibration
+	// unchanged: a regression.
+	regressed := strings.NewReplacer(
+		"1000 ns/op", "1600 ns/op",
+		"1100 ns/op", "1700 ns/op",
+	).Replace(sampleBench)
+	out.Reset()
+	err := run([]string{"-baseline", baseline,
+		writeFile(t, dir, "reg.out", regressed)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkKernel/fast") {
+		t.Fatalf("regression not flagged: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateFlagsNewAllocations(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-write",
+		writeFile(t, dir, "base.out", sampleBench)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-alloc benchmark starts allocating: fails even with timing flat.
+	alloc := strings.ReplaceAll(sampleBench, "0 B/op	       0 allocs/op", "64 B/op	       2 allocs/op")
+	out.Reset()
+	err := run([]string{"-baseline", baseline, writeFile(t, dir, "alloc.out", alloc)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("new allocations not flagged: %v\n%s", err, out.String())
+	}
+	// A noisy alloc count on an already-allocating benchmark is NOT gated.
+	noisy := strings.Replace(sampleBench, "12 allocs/op", "20 allocs/op", 1)
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, writeFile(t, dir, "noisy.out", noisy)}, &out); err != nil {
+		t.Fatalf("allocating benchmark alloc noise flagged: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateFlagsMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-write",
+		writeFile(t, dir, "base.out", sampleBench)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	missing := strings.Replace(sampleBench,
+		"BenchmarkModel/big-8       	      10	    200000 ns/op	    4096 B/op	      12 allocs/op", "", 1)
+	out.Reset()
+	err := run([]string{"-baseline", baseline, writeFile(t, dir, "missing.out", missing)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing gated benchmark not flagged: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("accepted no input file")
+	}
+	dir := t.TempDir()
+	empty := writeFile(t, dir, "empty.out", "no benchmarks here\n")
+	if err := run([]string{"-baseline", filepath.Join(dir, "nope.json"), empty}, &out); err == nil {
+		t.Fatal("accepted input without benchmark lines")
+	}
+	noCalib := writeFile(t, dir, "nc.out", "BenchmarkKernel/fast-8 100 1000 ns/op\n")
+	if err := run([]string{"-baseline", filepath.Join(dir, "nope.json"), noCalib}, &out); err == nil ||
+		!strings.Contains(err.Error(), "BenchmarkCalibration") {
+		t.Fatalf("missing calibration not flagged: %v", err)
+	}
+}

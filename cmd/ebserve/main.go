@@ -65,12 +65,13 @@ type options struct {
 
 	addr string
 
-	loadgen  bool
-	rates    string
-	requests int
-	clients  int
-	csvOut   bool
-	jsonOut  bool
+	loadgen    bool
+	rates      string
+	maxBatches string
+	requests   int
+	clients    int
+	csvOut     bool
+	jsonOut    bool
 }
 
 // run is the testable CLI body: parses args, builds the server, and
@@ -94,6 +95,7 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address (serve mode)")
 	fs.BoolVar(&o.loadgen, "loadgen", false, "run the embedded load generator instead of serving HTTP")
 	fs.StringVar(&o.rates, "rate", "1000,4000,16000", "comma-separated open-loop arrival rates (req/s); 0 entries select the closed loop")
+	fs.StringVar(&o.maxBatches, "sweep-maxbatch", "", "comma-separated dynamic-batch caps: closed-loop throughput sweep over MaxBatch (loadgen mode; overrides -rate)")
 	fs.IntVar(&o.requests, "requests", 1000, "loadgen arrivals per rate point")
 	fs.IntVar(&o.clients, "clients", 4, "closed-loop client count (rate 0)")
 	fs.BoolVar(&o.csvOut, "csv", false, "emit the loadgen curve as CSV")
@@ -119,6 +121,9 @@ func run(args []string, out io.Writer) error {
 	newServer := func() (*serve.Server, error) { return buildServer(o, model, design) }
 
 	if o.loadgen {
+		if o.maxBatches != "" {
+			return runMaxBatchSweep(o, model, design, out)
+		}
 		return runLoadgen(o, model, newServer, out)
 	}
 	s, err := newServer()
@@ -301,6 +306,48 @@ func runLoadgen(o options, model *bnn.Model, newServer func() (*serve.Server, er
 		return serve.WriteLoadJSON(out, points)
 	default:
 		fmt.Fprint(out, serve.LoadTable(points))
+		return nil
+	}
+}
+
+// runMaxBatchSweep drives the closed-loop generator once per
+// dynamic-batch cap and renders throughput vs MaxBatch — the software
+// batching curve: the bit-parallel forward path packs up to 64 samples
+// per machine word, so software throughput climbs with the cap until
+// the lane word is full.
+func runMaxBatchSweep(o options, model *bnn.Model, design arch.Design, out io.Writer) error {
+	var caps []int
+	for _, f := range strings.Split(o.maxBatches, ",") {
+		mb, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || mb < 1 {
+			return fmt.Errorf("bad -sweep-maxbatch entry %q (want positive integers)", f)
+		}
+		caps = append(caps, mb)
+	}
+	size := 1
+	for _, d := range model.InputShape {
+		size *= d
+	}
+	base := serve.LoadConfig{
+		Requests: o.requests,
+		Seed:     o.seed,
+		Inputs:   serve.SyntheticInputs(size, 32, o.seed),
+	}
+	points, err := serve.SweepMaxBatch(func(mb int) (*serve.Server, error) {
+		oo := o
+		oo.maxBatch = mb
+		return buildServer(oo, model, design)
+	}, caps, base)
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.csvOut:
+		return serve.WriteBatchCSV(out, points)
+	case o.jsonOut:
+		return serve.WriteBatchJSON(out, points)
+	default:
+		fmt.Fprint(out, serve.BatchTable(points))
 		return nil
 	}
 }

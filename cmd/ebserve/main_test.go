@@ -153,3 +153,34 @@ func TestMultiModelFlagErrors(t *testing.T) {
 		t.Fatal("unknown model must error")
 	}
 }
+
+func TestSweepMaxBatchTable(t *testing.T) {
+	out := runOK(t, "-loadgen", "-network", "MLP-S", "-sweep-maxbatch", "1,8",
+		"-requests", "48", "-max-wait", "200us", "-no-pricing")
+	for _, frag := range []string{"max-batch", "achieved/s", "mean batch"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("sweep table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSweepMaxBatchCSV(t *testing.T) {
+	out := runOK(t, "-loadgen", "-sweep-maxbatch", "4", "-requests", "24", "-csv", "-no-pricing")
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0][0] != "max_batch" || recs[1][0] != "4" {
+		t.Fatalf("CSV shape wrong: %v", recs)
+	}
+}
+
+func TestSweepMaxBatchFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-loadgen", "-sweep-maxbatch", "0"}, &out); err == nil {
+		t.Fatal("accepted -sweep-maxbatch 0")
+	}
+	if err := run([]string{"-loadgen", "-sweep-maxbatch", "x"}, &out); err == nil {
+		t.Fatal("accepted -sweep-maxbatch x")
+	}
+}

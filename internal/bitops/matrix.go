@@ -217,6 +217,16 @@ func (m *Matrix) XnorPopcountAllInto(x *Vector, dst []int) []int {
 	//	Popcount(x ⊙ row) = cols − Σ Popcount(x ^ row words)
 	//
 	// — no per-word complement and no tail-mask special case.
+	if m.rows == 0 {
+		return dst
+	}
+	if hasXnorPopAsm && m.stride >= 8 {
+		xnorPopMatrixAVX512(&m.words[0], &x.words[0], m.rows, m.stride, &dst[0])
+		for r, c := range dst {
+			dst[r] = m.cols - c
+		}
+		return dst
+	}
 	if m.stride == 16 {
 		m.xnorPop16(x.words, dst)
 		return dst

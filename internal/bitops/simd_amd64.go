@@ -1,0 +1,16 @@
+package bitops
+
+import "einsteinbarrier/internal/cpu"
+
+// xnorPopMatrixAVX512 is implemented in simd_amd64.s: for each of the
+// rows it writes Σ Popcount(row word ^ x word) over the stride words to
+// dst — the XOR-popcount sum XnorPopcountAllInto turns into
+// Popcount(x ⊙ row) by subtracting from cols. One call covers the whole
+// matrix, amortizing the per-call ZMM reduce over all rows.
+//
+//go:noescape
+func xnorPopMatrixAVX512(words, x *uint64, rows, stride int, dst *int)
+
+// hasXnorPopAsm gates the assembly path; tests flip it to pin both
+// implementations against each other on capable hosts.
+var hasXnorPopAsm = cpu.HasAVX512VPOPCNTDQ

@@ -1,0 +1,65 @@
+#include "textflag.h"
+
+// func xnorPopMatrixAVX512(words, x *uint64, rows, stride int, dst *int)
+//
+// dst[r] = Σ_i Popcount(words[r*stride+i] ^ x[i]) for r in [0, rows).
+// Full 8-word chunks go through VPXORQ+VPOPCNTQ+VPADDQ on ZMM; the
+// stride%8 tail is scalar XORQ+POPCNTQ. Requires AVX-512F + VPOPCNTDQ.
+TEXT ·xnorPopMatrixAVX512(SB), NOSPLIT, $0-40
+	MOVQ words+0(FP), AX
+	MOVQ x+8(FP), BX
+	MOVQ rows+16(FP), CX
+	MOVQ stride+24(FP), DX
+	MOVQ dst+32(FP), DI
+
+rowloop:
+	TESTQ CX, CX
+	JZ    done
+	VPXORQ Z0, Z0, Z0
+	MOVQ  AX, R9
+	MOVQ  BX, R10
+	MOVQ  DX, R8
+
+chunk:
+	CMPQ R8, $8
+	JL   reduce
+	VMOVDQU64 (R9), Z1
+	VPXORQ (R10), Z1, Z1
+	VPOPCNTQ Z1, Z1
+	VPADDQ Z1, Z0, Z0
+	ADDQ $64, R9
+	ADDQ $64, R10
+	SUBQ $8, R8
+	JMP  chunk
+
+reduce:
+	VEXTRACTI64X4 $1, Z0, Y1
+	VPADDQ Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDQ X1, X0, X0
+	VPSRLDQ $8, X0, X1
+	VPADDQ X1, X0, X0
+	MOVQ X0, R12
+
+tailloop:
+	TESTQ R8, R8
+	JZ    rowdone
+	MOVQ  (R9), R11
+	XORQ  (R10), R11
+	POPCNTQ R11, R11
+	ADDQ  R11, R12
+	ADDQ  $8, R9
+	ADDQ  $8, R10
+	DECQ  R8
+	JMP   tailloop
+
+rowdone:
+	MOVQ R12, (DI)
+	ADDQ $8, DI
+	LEAQ (AX)(DX*8), AX
+	DECQ CX
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package bitops
+
+var hasXnorPopAsm = false
+
+func xnorPopMatrixAVX512(words, x *uint64, rows, stride int, dst *int) {
+	panic("bitops: no assembly kernel on this architecture")
+}

@@ -93,12 +93,13 @@ type DenseFP struct {
 	// leave logits linear.
 	ReLU bool
 
-	out *tensor.Float // reusable output buffer
+	out   *tensor.Float // reusable output buffer
+	batch *denseFPBatch // batch-major lanes scratch (batch.go)
 }
 
 func (d *DenseFP) cloneShared() Layer {
 	c := *d
-	c.out = nil
+	c.out, c.batch = nil, nil
 	return &c
 }
 
@@ -211,14 +212,15 @@ type BinaryDense struct {
 	Thresh []int
 
 	// Reusable scratch: binarized input, popcount accumulator, output.
-	xb   *bitops.Vector
-	dots []int
-	out  *tensor.Float
+	xb    *bitops.Vector
+	dots  []int
+	out   *tensor.Float
+	batch *binaryDenseBatch // batch-major bit-parallel scratch (batch.go)
 }
 
 func (b *BinaryDense) cloneShared() Layer {
 	c := *b
-	c.xb, c.dots, c.out = nil, nil, nil
+	c.xb, c.dots, c.out, c.batch = nil, nil, nil, nil
 	return &c
 }
 
@@ -282,15 +284,16 @@ type BinaryConv2D struct {
 	// Reusable scratch: im2col buffer, one binarized patch, popcounts,
 	// output — so Forward allocates nothing per patch (or at all) in
 	// steady state.
-	cols *tensor.Float
-	xb   *bitops.Vector
-	dots []int
-	out  *tensor.Float
+	cols  *tensor.Float
+	xb    *bitops.Vector
+	dots  []int
+	out   *tensor.Float
+	batch *binaryConvBatch // batch-major bit-parallel scratch (batch.go)
 }
 
 func (b *BinaryConv2D) cloneShared() Layer {
 	c := *b
-	c.cols, c.xb, c.dots, c.out = nil, nil, nil, nil
+	c.cols, c.xb, c.dots, c.out, c.batch = nil, nil, nil, nil, nil
 	return &c
 }
 
@@ -362,12 +365,13 @@ func (b *BinaryConv2D) PatchVectors(x *tensor.Float) []*bitops.Vector {
 type Sign struct {
 	LayerName string
 
-	out *tensor.Float // reusable output buffer
+	out   *tensor.Float // reusable output buffer
+	batch *signBatch    // batch-major scratch (batch.go)
 }
 
 func (s *Sign) cloneShared() Layer {
 	c := *s
-	c.out = nil
+	c.out, c.batch = nil, nil
 	return &c
 }
 
@@ -399,12 +403,13 @@ type MaxPool2D struct {
 	LayerName string
 	Size      int
 
-	out *tensor.Float // reusable output buffer
+	out   *tensor.Float // reusable output buffer
+	batch *poolBatch    // batch-major scratch (batch.go)
 }
 
 func (m *MaxPool2D) cloneShared() Layer {
 	c := *m
-	c.out = nil
+	c.out, c.batch = nil, nil
 	return &c
 }
 
@@ -453,7 +458,8 @@ func (m *MaxPool2D) Forward(x *tensor.Float) *tensor.Float {
 type Flatten struct {
 	LayerName string
 
-	out tensor.Float // reusable alias view of the input
+	out   tensor.Float  // reusable alias view of the input
+	batch *flattenBatch // batch-major scratch (batch.go)
 }
 
 func (f *Flatten) cloneShared() Layer {

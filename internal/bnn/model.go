@@ -16,6 +16,8 @@ type Model struct {
 	Layers []Layer
 	// Classes is the output dimensionality.
 	Classes int
+
+	batch *modelBatch // InferBatchBits staging (batch.go); nil in clones
 }
 
 // Name returns the model name.

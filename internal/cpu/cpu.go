@@ -1,0 +1,15 @@
+// Package cpu detects the host SIMD features that gate the hand-written
+// assembly kernels in internal/tensor and internal/bitops. Detection
+// runs once at init; on non-amd64 builds every flag stays false and the
+// kernels fall back to their portable Go bodies, which compute the same
+// results bit for bit.
+package cpu
+
+var (
+	// HasAVX512F reports AVX-512 Foundation support with the OS saving
+	// ZMM/opmask state (OSXSAVE + XCR0 bits 1,2,5,6,7).
+	HasAVX512F bool
+	// HasAVX512VPOPCNTDQ reports the VPOPCNTQ/VPOPCNTD instructions
+	// (implies HasAVX512F here — it is only set when AVX-512F is usable).
+	HasAVX512VPOPCNTDQ bool
+)

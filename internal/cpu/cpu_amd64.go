@@ -1,0 +1,28 @@
+package cpu
+
+// cpuid and xgetbv are implemented in cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return
+	}
+	// XCR0: SSE+AVX state (bits 1,2) and opmask+ZMM state (bits 5,6,7)
+	// must all be OS-enabled before any EVEX instruction is legal.
+	const avxState = 0x6
+	const avx512State = 0xe0
+	xcr0, _ := xgetbv()
+	if xcr0&avxState != avxState || xcr0&avx512State != avx512State {
+		return
+	}
+	_, b7, c7, _ := cpuid(7, 0)
+	HasAVX512F = b7&(1<<16) != 0
+	HasAVX512VPOPCNTDQ = HasAVX512F && c7&(1<<14) != 0
+}

@@ -1,0 +1,12 @@
+package cpu
+
+import "testing"
+
+// TestFlagsConsistent pins the one invariant the dispatchers rely on:
+// VPOPCNTDQ is only reported on top of a usable AVX-512F baseline.
+func TestFlagsConsistent(t *testing.T) {
+	if HasAVX512VPOPCNTDQ && !HasAVX512F {
+		t.Fatalf("HasAVX512VPOPCNTDQ without HasAVX512F")
+	}
+	t.Logf("AVX512F=%v VPOPCNTDQ=%v", HasAVX512F, HasAVX512VPOPCNTDQ)
+}

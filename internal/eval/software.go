@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/infer"
+	"einsteinbarrier/internal/tensor"
+)
+
+// Software-reference throughput: the simulated designs are priced
+// analytically, but the repo also carries a real, runnable software
+// forward path (bnn.Model.Infer and the batch-major bit-parallel
+// bnn.Model.InferBatchBits behind infer.Engine). SoftwareThroughput
+// measures that path on the host — per-sample vs lane-chunked — so
+// reports can put a concrete software baseline next to the simulated
+// accelerator numbers, and so the bit-parallel speedup is observable
+// from the harness rather than only from go test -bench.
+
+// SoftwareRow is the host-measured software throughput of one network.
+type SoftwareRow struct {
+	Network string `json:"network"`
+	// Samples is the number of inputs timed per path.
+	Samples int `json:"samples"`
+	// SerialNsPerInf is the per-sample reference path (Model.Infer).
+	SerialNsPerInf float64 `json:"serial_ns_per_inf"`
+	// BatchNsPerInf is the lane-chunked engine path
+	// (infer.Engine.InferBatch, 64 samples per machine word).
+	BatchNsPerInf float64 `json:"batch_ns_per_inf"`
+	// Speedup is SerialNsPerInf / BatchNsPerInf.
+	Speedup float64 `json:"speedup"`
+	// BatchPerSec is 1e9 / BatchNsPerInf.
+	BatchPerSec float64 `json:"batch_inferences_per_sec"`
+}
+
+// SoftwareThroughput times the software forward path for the named zoo
+// networks (nil means the full zoo) over `samples` synthetic inputs:
+// once through the per-sample reference and once through the
+// lane-chunked batch engine with cfg.Workers workers. Timings are host
+// wall-clock measurements — machine-dependent by nature, unlike every
+// other eval output — but the two paths are verified bit-identical
+// before timing, so a row is never reported for a diverging pair.
+func SoftwareThroughput(cfg Config, names []string, samples int) ([]SoftwareRow, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("eval: software throughput needs ≥ 1 sample, got %d", samples)
+	}
+	if len(names) == 0 {
+		names = bnn.ZooNames
+	}
+	rows := make([]SoftwareRow, 0, len(names))
+	for _, name := range names {
+		m, err := bnn.NewModel(name, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 977))
+		xs := make([]*tensor.Float, samples)
+		for i := range xs {
+			xs[i] = tensor.NewFloat(m.InputShape...)
+			for j := range xs[i].Data() {
+				xs[i].Data()[j] = rng.NormFloat64()
+			}
+		}
+		eng := infer.New(m, cfg.Workers)
+		serial := m.CloneShared()
+
+		// Correctness gate before any timing: engine logits must equal the
+		// per-sample reference bit for bit.
+		got, err := eng.InferBatch(xs)
+		if err != nil {
+			return nil, err
+		}
+		for i, x := range xs {
+			want := serial.Infer(x)
+			for j, v := range want.Data() {
+				if got[i].Data()[j] != v {
+					return nil, fmt.Errorf("eval: %s: batch path diverged from reference at sample %d logit %d", name, i, j)
+				}
+			}
+		}
+
+		t0 := time.Now()
+		for _, x := range xs {
+			serial.Infer(x)
+		}
+		serialNs := float64(time.Since(t0).Nanoseconds()) / float64(samples)
+
+		t0 = time.Now()
+		if _, err := eng.InferBatch(xs); err != nil {
+			return nil, err
+		}
+		batchNs := float64(time.Since(t0).Nanoseconds()) / float64(samples)
+
+		row := SoftwareRow{
+			Network:        name,
+			Samples:        samples,
+			SerialNsPerInf: serialNs,
+			BatchNsPerInf:  batchNs,
+		}
+		if batchNs > 0 {
+			row.Speedup = serialNs / batchNs
+			row.BatchPerSec = 1e9 / batchNs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SoftwareTable renders the software-reference throughput as an aligned
+// text table.
+func SoftwareTable(rows []SoftwareRow) string {
+	var sb strings.Builder
+	sb.WriteString("Software forward path (host wall clock, bit-parallel batch vs per-sample)\n")
+	fmt.Fprintf(&sb, "%-8s %10s %14s %14s %9s %12s\n",
+		"network", "samples", "serial ns/inf", "batch ns/inf", "speedup", "batch inf/s")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %10d %14.0f %14.0f %8.2fx %12.0f\n",
+			r.Network, r.Samples, r.SerialNsPerInf, r.BatchNsPerInf, r.Speedup, r.BatchPerSec)
+	}
+	return sb.String()
+}
+
+// WriteSoftwareCSV emits one row per network.
+func WriteSoftwareCSV(w io.Writer, rows []SoftwareRow) error {
+	if _, err := fmt.Fprintln(w, "network,samples,serial_ns_per_inf,batch_ns_per_inf,speedup,batch_inferences_per_sec"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%g,%g,%g\n",
+			r.Network, r.Samples, r.SerialNsPerInf, r.BatchNsPerInf, r.Speedup, r.BatchPerSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

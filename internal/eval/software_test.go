@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoftwareThroughput exercises the host-measured software rows.
+// Wall-clock magnitudes are machine-dependent, so the test pins
+// structure and invariants (positive timings, correctness gate), not
+// absolute numbers — the bit-identity of the two paths is enforced
+// inside SoftwareThroughput itself before any timing happens.
+func TestSoftwareThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	rows, err := SoftwareThroughput(cfg, []string{"MLP-S"}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Network != "MLP-S" || rows[0].Samples != 80 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.SerialNsPerInf <= 0 || r.BatchNsPerInf <= 0 || r.Speedup <= 0 || r.BatchPerSec <= 0 {
+		t.Fatalf("non-positive measurement: %+v", r)
+	}
+
+	tbl := SoftwareTable(rows)
+	if !strings.Contains(tbl, "MLP-S") || !strings.Contains(tbl, "speedup") {
+		t.Fatalf("table missing fields:\n%s", tbl)
+	}
+	var sb strings.Builder
+	if err := WriteSoftwareCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(sb.String()), "\n") + 1; lines != 2 {
+		t.Fatalf("CSV has %d lines, want header+1:\n%s", lines, sb.String())
+	}
+}
+
+func TestSoftwareThroughputValidates(t *testing.T) {
+	if _, err := SoftwareThroughput(DefaultConfig(), nil, 0); err == nil {
+		t.Fatal("accepted zero samples")
+	}
+	if _, err := SoftwareThroughput(DefaultConfig(), []string{"no-such-net"}, 4); err == nil {
+		t.Fatal("accepted unknown network")
+	}
+}

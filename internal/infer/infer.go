@@ -112,8 +112,9 @@ func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) 
 type Engine struct {
 	workers int
 	proto   *bnn.Model
-	mu      sync.Mutex // serializes batches; models[w] is per-worker scratch
+	mu      sync.Mutex // serializes batches; models[w] and chunks[w] are per-worker scratch
 	models  []*bnn.Model
+	chunks  [][]*tensor.Float // per-worker shaped-view staging for lane chunks
 }
 
 // New builds an engine with the given worker count (< 1 means one per
@@ -122,7 +123,12 @@ func New(m *bnn.Model, workers int) *Engine {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, proto: m, models: make([]*bnn.Model, workers)}
+	return &Engine{
+		workers: workers,
+		proto:   m,
+		models:  make([]*bnn.Model, workers),
+		chunks:  make([][]*tensor.Float, workers),
+	}
 }
 
 // WorkerCount returns the size of the pool.
@@ -193,31 +199,90 @@ func (e *Engine) shaped(x *tensor.Float) *tensor.Float {
 	return x
 }
 
+// chunk returns worker w's shaped-view staging slice, holding the
+// shaped inputs of one lane chunk (capacity one lane word).
+func (e *Engine) chunk(w int) []*tensor.Float {
+	if e.chunks[w] == nil {
+		e.chunks[w] = make([]*tensor.Float, 0, tensor.LaneWidth)
+	}
+	return e.chunks[w][:0]
+}
+
 // InferBatch runs the forward pass for every input and returns the
-// logits in input order. Each result is a fresh tensor (cloned out of
-// the worker's scratch), safe to retain. Inputs are shape-checked up
-// front (flat vectors of the right size are accepted and reshaped), so
-// malformed batches fail with an error instead of panicking mid-layer.
+// logits in input order. Inputs are shape-checked up front (flat
+// vectors of the right size are accepted and reshaped), so malformed
+// batches fail with an error instead of panicking mid-layer. The batch
+// is chunked into LaneWidth-sample words that run the bit-parallel
+// batch path; chunking is by index, so results are bit-identical to
+// per-sample inference at any worker count. Each result is a fresh
+// tensor (cloned out of the worker's scratch), safe to retain.
 func (e *Engine) InferBatch(xs []*tensor.Float) ([]*tensor.Float, error) {
 	if err := e.checkBatch(xs); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Map(e.workers, len(xs), func(w, i int) (*tensor.Float, error) {
-		return e.model(w).Infer(e.shaped(xs[i])).Clone(), nil
+	out := make([]*tensor.Float, len(xs))
+	err := e.runChunks(xs, func(lo int, ys []*tensor.Float) {
+		for i, y := range ys {
+			out[lo+i] = y.Clone()
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PredictBatch returns the argmax class for every input, in input
-// order, with the same shape validation as InferBatch.
+// order, with the same shape validation and lane chunking as
+// InferBatch.
 func (e *Engine) PredictBatch(xs []*tensor.Float) ([]int, error) {
 	if err := e.checkBatch(xs); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Map(e.workers, len(xs), func(w, i int) (int, error) {
-		return e.model(w).Predict(e.shaped(xs[i])), nil
+	out := make([]int, len(xs))
+	err := e.runChunks(xs, func(lo int, ys []*tensor.Float) {
+		for i, y := range ys {
+			out[lo+i] = y.ArgMax()
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runChunks fans LaneWidth-sample chunks of xs over the pool and hands
+// each chunk's logits (worker-owned scratch, valid only inside the
+// callback) to sink with the chunk's base index. Chunk boundaries
+// depend only on len(xs) and each chunk runs serially inside one
+// worker, so results are deterministic at any worker count.
+func (e *Engine) runChunks(xs []*tensor.Float, sink func(lo int, ys []*tensor.Float)) error {
+	n := len(xs)
+	chunks := (n + tensor.LaneWidth - 1) / tensor.LaneWidth
+	_, err := Map(e.workers, chunks, func(w, ci int) (struct{}, error) {
+		lo := ci * tensor.LaneWidth
+		hi := lo + tensor.LaneWidth
+		if hi > n {
+			hi = n
+		}
+		m := e.model(w)
+		if hi-lo == 1 {
+			// A lone sample gains nothing from the batch path; run the
+			// per-sample reference directly.
+			y := m.Infer(e.shaped(xs[lo]))
+			sink(lo, []*tensor.Float{y})
+			return struct{}{}, nil
+		}
+		chunk := e.chunk(w)
+		for i := lo; i < hi; i++ {
+			chunk = append(chunk, e.shaped(xs[i]))
+		}
+		sink(lo, m.InferBatchBits(chunk))
+		return struct{}{}, nil
+	})
+	return err
 }

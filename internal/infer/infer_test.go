@@ -217,3 +217,62 @@ func TestBatchShapeValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineChunkedBatchMatchesSerial drives batch sizes that span the
+// chunking regimes — single sample, ragged remainder of 1, exactly one
+// lane word, word+1, multi-word — and pins every logit against the
+// serial reference at several worker counts. This is the determinism
+// guarantee of the lane-chunked engine: chunk boundaries are a pure
+// function of the batch length, so worker count never changes results.
+func TestEngineChunkedBatchMatchesSerial(t *testing.T) {
+	m, err := bnn.NewModel("MLP-S", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const maxN = 130
+	xs := make([]*tensor.Float, maxN)
+	for i := range xs {
+		xs[i] = tensor.NewFloat(m.InputShape...)
+		for j := range xs[i].Data() {
+			xs[i].Data()[j] = rng.NormFloat64()
+		}
+	}
+	serial := m.CloneShared()
+	want := make([][]float64, maxN)
+	wantCls := make([]int, maxN)
+	for i, x := range xs {
+		want[i] = append([]float64(nil), serial.Infer(x).Data()...)
+		wantCls[i] = serial.Predict(x)
+	}
+	sizes := []int{1, 63, 64, 65, 128, 130}
+	if testing.Short() {
+		sizes = []int{1, 65}
+	}
+	for _, n := range sizes {
+		for _, workers := range []int{1, 2, 4, 0} {
+			e := New(m, workers)
+			got, err := e.InferBatch(xs[:n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := range want[i] {
+					if got[i].Data()[j] != want[i][j] {
+						t.Fatalf("n=%d workers=%d input %d logit %d: engine %v != serial %v",
+							n, workers, i, j, got[i].Data()[j], want[i][j])
+					}
+				}
+			}
+			cls, err := e.PredictBatch(xs[:n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range cls {
+				if c != wantCls[i] {
+					t.Fatalf("n=%d workers=%d input %d: class %d != %d", n, workers, i, c, wantCls[i])
+				}
+			}
+		}
+	}
+}

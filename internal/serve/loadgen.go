@@ -263,3 +263,102 @@ func LoadTable(points []RatePoint) string {
 	}
 	return string(sb)
 }
+
+// BatchPoint is one dynamic-batcher size cap of a MaxBatch sweep.
+type BatchPoint struct {
+	MaxBatch int        `json:"max_batch"`
+	Report   LoadReport `json:"report"`
+}
+
+// SweepMaxBatch runs the closed-loop generator against a fresh server
+// for every MaxBatch cap and returns the throughput curve. This is the
+// software-batching story: the bit-parallel forward path packs up to 64
+// samples into each machine word, so the software backend's throughput
+// climbs with the batcher's size cap until a lane word is full. The
+// closed loop keeps 2×MaxBatch clients in flight (unless base.Clients
+// is set), so each point measures the backend at its own saturation
+// batch size rather than an arrival-rate artifact.
+func SweepMaxBatch(newServer func(maxBatch int) (*Server, error), maxBatches []int, base LoadConfig) ([]BatchPoint, error) {
+	if len(maxBatches) == 0 {
+		return nil, fmt.Errorf("serve: sweep needs at least one MaxBatch")
+	}
+	out := make([]BatchPoint, 0, len(maxBatches))
+	for _, mb := range maxBatches {
+		if mb < 1 {
+			return nil, fmt.Errorf("serve: MaxBatch %d must be ≥ 1", mb)
+		}
+		s, err := newServer(mb)
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Rate = 0
+		if cfg.Clients == 0 {
+			cfg.Clients = 2 * mb
+		}
+		rep, err := Run(s, cfg)
+		s.Stop()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BatchPoint{MaxBatch: mb, Report: rep})
+	}
+	return out, nil
+}
+
+// WriteBatchJSON emits the MaxBatch sweep as indented JSON.
+func WriteBatchJSON(w io.Writer, points []BatchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}
+
+// BatchTable renders a MaxBatch sweep as an aligned text table.
+func BatchTable(points []BatchPoint) string {
+	var sb []byte
+	app := func(s string) { sb = append(sb, s...) }
+	app("Throughput vs dynamic-batch cap (closed loop, bit-parallel software path)\n")
+	app(fmt.Sprintf("%-10s %12s %10s %10s %9s %9s %9s %12s\n",
+		"max-batch", "achieved/s", "completed", "mean batch",
+		"p50 ms", "p95 ms", "p99 ms", "sim inf/s"))
+	for _, p := range points {
+		st := p.Report.Stats
+		simPerSec := 0.0
+		if st.Sim != nil {
+			simPerSec = st.Sim.PerSec
+		}
+		app(fmt.Sprintf("%-10d %12.0f %10d %10.1f %9.3f %9.3f %9.3f %12.0f\n",
+			p.MaxBatch, p.Report.AchievedPerSec, p.Report.Completed,
+			st.MeanBatch, st.Latency.P50, st.Latency.P95, st.Latency.P99, simPerSec))
+	}
+	return string(sb)
+}
+
+// WriteBatchCSV emits one row per MaxBatch point.
+func WriteBatchCSV(w io.Writer, points []BatchPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"max_batch", "achieved_per_sec", "completed", "shed", "failed",
+		"mean_batch", "p50_ms", "p95_ms", "p99_ms", "sim_per_sec",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	d := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, p := range points {
+		st := p.Report.Stats
+		simPerSec := 0.0
+		if st.Sim != nil {
+			simPerSec = st.Sim.PerSec
+		}
+		if err := cw.Write([]string{
+			strconv.Itoa(p.MaxBatch), f(p.Report.AchievedPerSec), d(p.Report.Completed),
+			d(p.Report.Shed), d(p.Report.Failed), f(st.MeanBatch),
+			f(st.Latency.P50), f(st.Latency.P95), f(st.Latency.P99), f(simPerSec),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

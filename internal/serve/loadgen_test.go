@@ -229,3 +229,73 @@ func TestLoadConfigValidation(t *testing.T) {
 		t.Error("empty sweep accepted")
 	}
 }
+
+// TestSweepMaxBatch: the MaxBatch sweep runs the closed loop once per
+// cap, every request completes at every point, and larger caps actually
+// form larger batches (the precondition for the bit-parallel speedup).
+func TestSweepMaxBatch(t *testing.T) {
+	model := zooModel(t, "MLP-S")
+	points, err := SweepMaxBatch(func(mb int) (*Server, error) {
+		backend, err := NewSoftwareBackend(model, 1)
+		if err != nil {
+			return nil, err
+		}
+		return New(Config{Backend: backend, MaxBatch: mb, MaxWait: 200 * time.Microsecond})
+	}, []int{1, 8}, LoadConfig{
+		Requests: 64,
+		Seed:     3,
+		Inputs:   testInputs(t, model, 16, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].MaxBatch != 1 || points[1].MaxBatch != 8 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		if p.Report.Completed != 64 || p.Report.Shed != 0 || p.Report.Failed != 0 {
+			t.Fatalf("maxBatch %d: %+v", p.MaxBatch, p.Report)
+		}
+	}
+	if points[1].Report.Stats.MeanBatch <= points[0].Report.Stats.MeanBatch {
+		t.Fatalf("cap 8 did not batch more than cap 1: %v vs %v",
+			points[1].Report.Stats.MeanBatch, points[0].Report.Stats.MeanBatch)
+	}
+
+	tbl := BatchTable(points)
+	for _, frag := range []string{"max-batch", "achieved/s", "mean batch"} {
+		if !strings.Contains(tbl, frag) {
+			t.Fatalf("batch table missing %q:\n%s", frag, tbl)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "max_batch" || recs[1][0] != "1" || recs[2][0] != "8" {
+		t.Fatalf("CSV shape wrong: %v", recs)
+	}
+	buf.Reset()
+	if err := WriteBatchJSON(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	var back []BatchPoint
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].MaxBatch != 8 {
+		t.Fatalf("JSON round trip: %+v", back)
+	}
+
+	// Validation: empty and non-positive caps are rejected.
+	if _, err := SweepMaxBatch(nil, nil, LoadConfig{}); err == nil {
+		t.Fatal("accepted empty sweep")
+	}
+	if _, err := SweepMaxBatch(nil, []int{0}, LoadConfig{}); err == nil {
+		t.Fatal("accepted MaxBatch 0")
+	}
+}

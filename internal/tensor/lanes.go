@@ -1,0 +1,52 @@
+package tensor
+
+import "fmt"
+
+// Batch-major float lanes: the software batch path carries up to
+// LaneWidth samples side by side, with feature f of sample s stored at
+// data[f*LaneWidth+s]. One dense output neuron then reduces over
+// features with a single multiply-add per feature applied to all lanes
+// at once — the float counterpart of packing 64 binary samples into one
+// uint64 word.
+
+// LaneWidth is the fixed sample-lane count of the batch-major forward
+// path (matches the 64-bit word width of the bit-packed layers).
+const LaneWidth = 64
+
+// DenseLanesInto accumulates one dense output neuron over all lanes:
+//
+//	acc[s] += row[f] · x[f*LaneWidth+s]   for every feature f, lane s
+//
+// acc must have length LaneWidth and x length len(row)*LaneWidth. The
+// per-lane operation sequence — one multiply and one add per feature, in
+// ascending feature order — is exactly the scalar DenseFP inner loop, so
+// every lane is bit-identical to the per-sample path; the AVX-512
+// variant performs the same IEEE operations elementwise and preserves
+// that identity.
+func DenseLanesInto(acc, x, row []float64) {
+	if len(acc) != LaneWidth {
+		panic(fmt.Sprintf("tensor: DenseLanesInto acc length %d, want %d", len(acc), LaneWidth))
+	}
+	if len(x) != len(row)*LaneWidth {
+		panic(fmt.Sprintf("tensor: DenseLanesInto x length %d, want %d", len(x), len(row)*LaneWidth))
+	}
+	if len(row) == 0 {
+		return
+	}
+	denseLanesImpl(acc, x, row)
+}
+
+// denseLanesImpl is swapped to the AVX-512 kernel at init on capable
+// amd64 hosts; tests point it back at denseLanesGeneric to pin both
+// paths against each other.
+var denseLanesImpl = denseLanesGeneric
+
+func denseLanesGeneric(acc, x, row []float64) {
+	a := acc[:LaneWidth:LaneWidth]
+	for f, w := range row {
+		xf := x[f*LaneWidth : f*LaneWidth+LaneWidth : f*LaneWidth+LaneWidth]
+		for s := range a {
+			a[s] += w * xf[s]
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package tensor
+
+import "einsteinbarrier/internal/cpu"
+
+// denseLanesAVX512 is implemented in lanes_amd64.s: eight ZMM
+// accumulators hold the 64 lanes, and each feature contributes one
+// broadcast multiply + add per register, in feature order.
+//
+//go:noescape
+func denseLanesAVX512(acc, x, row *float64, nfeat int)
+
+func denseLanesAsm(acc, x, row []float64) {
+	denseLanesAVX512(&acc[0], &x[0], &row[0], len(row))
+}
+
+func init() {
+	if cpu.HasAVX512F {
+		denseLanesImpl = denseLanesAsm
+	}
+}

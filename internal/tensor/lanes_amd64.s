@@ -1,0 +1,56 @@
+#include "textflag.h"
+
+// func denseLanesAVX512(acc, x, row *float64, nfeat int)
+//
+// acc[0:64] += row[f] * x[f*64 : f*64+64] for f in [0, nfeat).
+// The 64 lanes live in Z0-Z7 for the whole reduction; each feature is
+// one VBROADCASTSD plus eight VMULPD+VADDPD pairs. Elementwise IEEE
+// mul-then-add matches the scalar path exactly (no FMA contraction).
+TEXT ·denseLanesAVX512(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), AX
+	MOVQ x+8(FP), BX
+	MOVQ row+16(FP), CX
+	MOVQ nfeat+24(FP), DX
+	VMOVUPD (AX), Z0
+	VMOVUPD 64(AX), Z1
+	VMOVUPD 128(AX), Z2
+	VMOVUPD 192(AX), Z3
+	VMOVUPD 256(AX), Z4
+	VMOVUPD 320(AX), Z5
+	VMOVUPD 384(AX), Z6
+	VMOVUPD 448(AX), Z7
+loop:
+	TESTQ DX, DX
+	JZ   done
+	VBROADCASTSD (CX), Z8
+	VMULPD (BX), Z8, Z9
+	VADDPD Z9, Z0, Z0
+	VMULPD 64(BX), Z8, Z10
+	VADDPD Z10, Z1, Z1
+	VMULPD 128(BX), Z8, Z11
+	VADDPD Z11, Z2, Z2
+	VMULPD 192(BX), Z8, Z12
+	VADDPD Z12, Z3, Z3
+	VMULPD 256(BX), Z8, Z13
+	VADDPD Z13, Z4, Z4
+	VMULPD 320(BX), Z8, Z14
+	VADDPD Z14, Z5, Z5
+	VMULPD 384(BX), Z8, Z15
+	VADDPD Z15, Z6, Z6
+	VMULPD 448(BX), Z8, Z16
+	VADDPD Z16, Z7, Z7
+	ADDQ $8, CX
+	ADDQ $512, BX
+	DECQ DX
+	JMP  loop
+done:
+	VMOVUPD Z0, (AX)
+	VMOVUPD Z1, 64(AX)
+	VMOVUPD Z2, 128(AX)
+	VMOVUPD Z3, 192(AX)
+	VMOVUPD Z4, 256(AX)
+	VMOVUPD Z5, 320(AX)
+	VMOVUPD Z6, 384(AX)
+	VMOVUPD Z7, 448(AX)
+	VZEROUPPER
+	RET

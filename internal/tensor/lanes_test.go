@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refLanes runs the scalar per-sample DenseFP inner loop for each lane.
+func refLanes(acc, x, row []float64) {
+	for s := 0; s < LaneWidth; s++ {
+		v := acc[s]
+		for f := range row {
+			v += row[f] * x[f*LaneWidth+s]
+		}
+		acc[s] = v
+	}
+}
+
+// TestDenseLanesBitIdentical pins both the dispatched kernel (asm on
+// capable hosts) and the generic fallback to the scalar reference,
+// bit for bit, across feature counts including zero.
+func TestDenseLanesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nfeat := range []int{0, 1, 2, 7, 64, 127, 784} {
+		x := make([]float64, nfeat*LaneWidth)
+		row := make([]float64, nfeat)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		want := make([]float64, LaneWidth)
+		got := make([]float64, LaneWidth)
+		gotGen := make([]float64, LaneWidth)
+		for s := range want {
+			v := rng.NormFloat64()
+			want[s], got[s], gotGen[s] = v, v, v
+		}
+		refLanes(want, x, row)
+		DenseLanesInto(got, x, row)
+		denseLanesGeneric(gotGen, x, row)
+		for s := 0; s < LaneWidth; s++ {
+			if got[s] != want[s] {
+				t.Fatalf("nfeat=%d lane %d: dispatched %v, scalar reference %v", nfeat, s, got[s], want[s])
+			}
+			if gotGen[s] != want[s] {
+				t.Fatalf("nfeat=%d lane %d: generic %v, scalar reference %v", nfeat, s, gotGen[s], want[s])
+			}
+		}
+	}
+}
+
+// TestDenseLanesPanics pins the argument validation.
+func TestDenseLanesPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short acc", func() {
+		DenseLanesInto(make([]float64, 8), make([]float64, LaneWidth), make([]float64, 1))
+	})
+	mustPanic("x/row mismatch", func() {
+		DenseLanesInto(make([]float64, LaneWidth), make([]float64, LaneWidth), make([]float64, 2))
+	})
+}
+
+func BenchmarkDenseLanes(b *testing.B) {
+	const nfeat = 784
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, nfeat*LaneWidth)
+	row := make([]float64, nfeat)
+	acc := make([]float64, LaneWidth)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range row {
+		row[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DenseLanesInto(acc, x, row)
+	}
+}
