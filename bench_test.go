@@ -591,6 +591,94 @@ func BenchmarkServe(b *testing.B) {
 	})
 }
 
+// BenchmarkLifetime measures the device-lifetime machinery. Probe is
+// the steady-state hot path the loop adds to serving — one canary
+// evaluation of a hardware replica — and is per-op stable, so it is
+// the gated entry. The Loop/* sub-benchmarks run the whole
+// detect/drain/recalibrate/return cycle end to end; their per-request
+// cost depends on how many recalibrations b.N happens to trigger, so
+// they are smoke-only (recals and recal-pJ report the repair work the
+// stream triggered at the configured wear rate).
+func BenchmarkLifetime(b *testing.B) {
+	model, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := robust.DefaultConfig(device.EPCM)
+	hw.Array.EPCM.ReadNoiseSigma = 0
+	hw.Array.Seed = 7
+	canary, err := serve.NewCanarySet(model, serve.SyntheticInputs(784, 16, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := serve.SyntheticInputs(784, 32, 9)
+
+	b.Run("Probe/MLP-S", func(b *testing.B) {
+		backend, err := serve.NewHardwareBackend(model, hw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := backend.NewReplica()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := canary.Evaluate(rep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, mode := range []struct {
+		name     string
+		fallback bool
+	}{{"Loop/Canary/MLP-S", false}, {"Loop/Fallback/MLP-S", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			backend, err := serve.NewHardwareBackend(model, hw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			life := &serve.LifetimeConfig{
+				// ~80 device-seconds per batch of 4: aggressive enough
+				// that the 120 s drift horizon recurs throughout b.N.
+				Clock:       serve.BatchClock{SecondsPerSample: 20},
+				Canary:      canary,
+				CanaryEvery: 3,
+				Floor:       0.99,
+				FlagAfter:   2,
+			}
+			if mode.fallback {
+				life.Fallback = model
+			}
+			s, err := serve.New(serve.Config{
+				Backend:  backend,
+				MaxBatch: 4,
+				MaxWait:  100 * time.Microsecond,
+				Lifetime: life,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rep, err := serve.Run(s, serve.LoadConfig{
+				Clients: 8, Requests: b.N, Seed: 9, Inputs: inputs,
+			})
+			b.StopTimer()
+			s.Stop()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.AchievedPerSec, "req/s")
+			if life := s.Stats().Lifetime; life != nil {
+				b.ReportMetric(float64(life.Recalibrations), "recals")
+				b.ReportMetric(life.RecalEnergyPJ, "recal-pJ")
+				b.ReportMetric(float64(life.FallbackServed), "fallback-served")
+			}
+		})
+	}
+}
+
 // BenchmarkEvalRun measures the full Fig. 7/8 evaluation (compile +
 // simulate, all networks × designs) through the parallel engine at
 // several worker-pool sizes; workers=1 is the serial reference.

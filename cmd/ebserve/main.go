@@ -7,6 +7,15 @@
 //	ebserve -loadgen -rate 4000 -csv              # latency–throughput curve as CSV
 //	ebserve -backend hardware -loadgen -rate 50   # hardware-in-the-loop serving
 //	ebserve -models MLP-S,CNN-S -placer mesh      # multi-model router, one fabric
+//	ebserve -lifetime -requests 200               # drift → canary → recalibrate loop
+//
+// With -lifetime, hardware replicas age as they serve (conductance
+// drift plus optional wear-driven faults), a canary probe stream
+// watches each replica's accuracy, and the closed loop drains and
+// re-programs flagged replicas — reporting availability, the
+// accuracy-over-time trace, recalibration energy, and the drain-window
+// latency SLO. -drift-horizon and -lifetimes size the simulated device
+// time; -diurnal-base/-diurnal-peak modulate arrivals day/night.
 //
 // With -models, several networks are co-located on ONE simulated
 // fabric (compiler.CompileSet carves disjoint tile regions) behind the
@@ -35,6 +44,7 @@ import (
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/compiler"
+	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/eval"
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/serve"
@@ -72,6 +82,20 @@ type options struct {
 	clients    int
 	csvOut     bool
 	jsonOut    bool
+
+	lifetime      bool
+	lifetimes     float64
+	driftHorizon  float64
+	driftNu       float64
+	canaryPeriod  int
+	canarySize    int
+	floor         float64
+	flagAfter     int
+	fallback      bool
+	faultRate     float64
+	diurnalBase   float64
+	diurnalPeak   float64
+	diurnalPeriod time.Duration
 }
 
 // run is the testable CLI body: parses args, builds the server, and
@@ -100,6 +124,19 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&o.clients, "clients", 4, "closed-loop client count (rate 0)")
 	fs.BoolVar(&o.csvOut, "csv", false, "emit the loadgen curve as CSV")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the loadgen curve as JSON")
+	fs.BoolVar(&o.lifetime, "lifetime", false, "run the device-lifetime scenario: ageing hardware replicas, canary health, closed-loop recalibration")
+	fs.Float64Var(&o.lifetimes, "lifetimes", 3, "simulated device lifetimes the run spans")
+	fs.Float64Var(&o.driftHorizon, "drift-horizon", 120, "simulated seconds per device lifetime (drift horizon)")
+	fs.Float64Var(&o.driftNu, "drift-nu", 0, "ePCM drift exponent override (0 = device default)")
+	fs.IntVar(&o.canaryPeriod, "canary-period", 2, "served batches between canary probes per replica")
+	fs.IntVar(&o.canarySize, "canary-size", 16, "labeled probes in the canary set")
+	fs.Float64Var(&o.floor, "accuracy-floor", 0.95, "canary accuracy below which a pass counts against the replica")
+	fs.IntVar(&o.flagAfter, "flag-after", 2, "consecutive below-floor canary passes before recalibration")
+	fs.BoolVar(&o.fallback, "fallback", false, "fail open to the software backend when no hardware replica is in rotation")
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "wear-driven stuck-off fault arrival rate per simulated second")
+	fs.Float64Var(&o.diurnalBase, "diurnal-base", 0, "diurnal trough arrival rate (req/s, wall clock; 0 = closed loop)")
+	fs.Float64Var(&o.diurnalPeak, "diurnal-peak", 0, "diurnal crest arrival rate (req/s; default 4x base)")
+	fs.DurationVar(&o.diurnalPeriod, "diurnal-period", time.Second, "one day/night cycle of the diurnal load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +150,9 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-models serves the multi-model router; the loadgen drives one network (-network)")
 		}
 		return runMultiModel(o, design, out)
+	}
+	if o.lifetime {
+		return runLifetimeMode(o, design, out)
 	}
 	model, err := bnn.NewModel(o.network, o.seed)
 	if err != nil {
@@ -262,6 +302,73 @@ func buildServer(o options, model *bnn.Model, design arch.Design) (*serve.Server
 		}
 	}
 	return serve.New(cfg)
+}
+
+// runLifetimeMode drives the device-lifetime scenario — the dynamic
+// counterpart of the Fig. 8 robustness statics: replicas always serve
+// on simulated ePCM crossbars (the drifting technology), while the
+// selected -design prices the stream as usual.
+func runLifetimeMode(o options, design arch.Design, out io.Writer) error {
+	if o.requests <= 0 {
+		return fmt.Errorf("-lifetime needs -requests > 0, got %d", o.requests)
+	}
+	if o.lifetimes <= 0 || o.driftHorizon <= 0 {
+		return fmt.Errorf("-lifetimes %g and -drift-horizon %g must be > 0", o.lifetimes, o.driftHorizon)
+	}
+	hw := robust.DefaultConfig(device.EPCM)
+	hw.Array.Seed = o.seed + 6
+	if o.driftNu > 0 {
+		hw.Array.EPCM.DriftNu = o.driftNu
+	}
+	evalCfg := eval.DefaultConfig()
+	evalCfg.Seed = o.seed
+	sc := eval.LifetimeScenario{
+		Model:    o.network,
+		Design:   design,
+		Eval:     evalCfg,
+		Hardware: hw,
+		Workers:  o.workers,
+		MaxBatch: o.maxBatch,
+		Requests: o.requests,
+		Seed:     o.seed,
+
+		CanarySize: o.canarySize,
+		Lifetime: serve.LifetimeConfig{
+			CanaryEvery:        o.canaryPeriod,
+			Floor:              o.floor,
+			FlagAfter:          o.flagAfter,
+			FaultRatePerSecond: o.faultRate,
+			FaultSeed:          o.seed + 7,
+		},
+		// Total simulated device time = lifetimes × horizon, spread
+		// evenly over the served samples.
+		SecondsPerSample: o.lifetimes * o.driftHorizon / float64(o.requests),
+		Fallback:         o.fallback,
+		Clients:          o.clients,
+	}
+	if o.noPrice {
+		sc.Design = -1
+	}
+	if o.diurnalBase > 0 {
+		peak := o.diurnalPeak
+		if peak <= 0 {
+			peak = 4 * o.diurnalBase
+		}
+		sc.Diurnal = &eval.DiurnalLoad{BaseRate: o.diurnalBase, PeakRate: peak, Period: o.diurnalPeriod}
+	}
+	rep, err := eval.RunLifetime(sc)
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.csvOut:
+		return eval.WriteLifetimeCSV(out, rep)
+	case o.jsonOut:
+		return eval.WriteLifetimeJSON(out, rep)
+	default:
+		fmt.Fprint(out, eval.LifetimeTable(rep))
+		return nil
+	}
 }
 
 // runLoadgen sweeps the requested arrival rates and renders the curve.

@@ -184,3 +184,79 @@ func TestSweepMaxBatchFlagErrors(t *testing.T) {
 		t.Fatal("accepted -sweep-maxbatch x")
 	}
 }
+
+func TestLifetimeTableMode(t *testing.T) {
+	out := runOK(t, "-lifetime", "-network", "MLP-S", "-requests", "12",
+		"-lifetimes", "3", "-drift-horizon", "80", "-canary-period", "2",
+		"-canary-size", "8", "-max-batch", "4", "-no-pricing")
+	for _, frag := range []string{"Device lifetime", "MLP-S", "availability", "recalibrations", "canary accuracy"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("lifetime table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLifetimeJSONMode(t *testing.T) {
+	out := runOK(t, "-lifetime", "-requests", "12", "-lifetimes", "3",
+		"-drift-horizon", "80", "-canary-period", "2", "-canary-size", "8",
+		"-max-batch", "4", "-json")
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep["completed"].(float64) != 12 {
+		t.Fatalf("completed %v, want 12", rep["completed"])
+	}
+	if rep["recalibrations"].(float64) < 1 {
+		t.Fatalf("drift never triggered recalibration:\n%s", out)
+	}
+	if rep["recal_energy_j"].(float64) <= 0 {
+		t.Fatalf("recalibration not priced:\n%s", out)
+	}
+	// Pricing on by default: the EinsteinBarrier sim block must be there.
+	stats := rep["stats"].(map[string]any)
+	if _, ok := stats["sim"]; !ok {
+		t.Fatalf("stats missing sim pricing block:\n%s", out)
+	}
+}
+
+func TestLifetimeCSVMode(t *testing.T) {
+	out := runOK(t, "-lifetime", "-requests", "12", "-lifetimes", "3",
+		"-drift-horizon", "80", "-canary-period", "2", "-canary-size", "8",
+		"-max-batch", "4", "-csv", "-no-pricing")
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 || recs[0][0] != "served_samples" {
+		t.Fatalf("lifetime CSV shape wrong: %v", recs)
+	}
+}
+
+func TestLifetimeDiurnalMode(t *testing.T) {
+	out := runOK(t, "-lifetime", "-requests", "12", "-lifetimes", "3",
+		"-drift-horizon", "80", "-canary-period", "1", "-canary-size", "8",
+		"-max-batch", "4", "-diurnal-base", "200", "-diurnal-period", "100ms",
+		"-json", "-no-pricing")
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	total := rep["completed"].(float64) + rep["shed"].(float64) + rep["failed"].(float64)
+	if total != 12 {
+		t.Fatalf("diurnal arrivals not accounted for: %v", rep)
+	}
+}
+
+func TestLifetimeFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	for name, args := range map[string][]string{
+		"zero requests": {"-lifetime", "-requests", "0"},
+		"zero horizon":  {"-lifetime", "-requests", "10", "-drift-horizon", "0"},
+		"bad network":   {"-lifetime", "-network", "MLP-XXL", "-requests", "10"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+}

@@ -266,6 +266,31 @@ func (t *TacitMapped) InjectFaults(f crossbar.FaultModel) (int, error) {
 	return flipped, nil
 }
 
+// Reprogram re-programs every tile from its stored layout with the
+// tile's RNG reset to its seed — see crossbar.Array.Reprogram. Ages
+// reset, program noise is re-drawn deterministically (idempotent across
+// recalibrations), stuck-at defects survive. Returns the total SET and
+// RESET write counts across tiles for pricing.
+func (t *TacitMapped) Reprogram() (setWrites, resetWrites int64) {
+	for _, row := range t.arrays {
+		for _, a := range row {
+			s, r := a.Reprogram()
+			setWrites += s
+			resetWrites += r
+		}
+	}
+	return setWrites, resetWrites
+}
+
+// Tiles returns the number of crossbar arrays the mapping occupies.
+func (t *TacitMapped) Tiles() int {
+	n := 0
+	for _, row := range t.arrays {
+		n += len(row)
+	}
+	return n
+}
+
 // Age advances every tile's post-programming age — the ePCM
 // resistance-drift study (oPCM does not drift, paper §II-C).
 func (t *TacitMapped) Age(seconds float64) {

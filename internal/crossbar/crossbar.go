@@ -257,6 +257,29 @@ func (a *Array) programAll(m *bitops.Matrix) {
 	a.stats.CellWrites += int64(a.rows * a.cols)
 }
 
+// Reprogram re-programs every cell from the currently stored logical
+// matrix with a fresh RNG stream reset to the array seed — the
+// serving-time recalibration primitive. The pass resets every cell's
+// drift age, re-draws programming variability deterministically (the
+// planes after any recalibration are a pure function of (seed, stored
+// bits) — recalibrating twice yields bit-identical planes), reapplies
+// the stuck-at fault mask (recalibration cannot heal physical defects),
+// and counts the writes in Stats. It returns the SET (logic 1) and
+// RESET (logic 0) write counts so callers can price the pass.
+func (a *Array) Reprogram() (setWrites, resetWrites int64) {
+	if a.rng != nil {
+		a.rng = rand.New(rand.NewSource(a.cfg.Seed))
+	}
+	a.programAll(a.programmed)
+	a.applyFaults()
+	var on int64
+	for _, w := range a.programmed.Words() {
+		on += int64(bits.OnesCount64(w))
+	}
+	total := int64(a.rows * a.cols)
+	return on, total - on
+}
+
 // Age advances every cell's post-programming age (ePCM drift study).
 // The drift decay is folded into the signal plane here, once per Age
 // call, so reads stay a flat multiply-accumulate.

@@ -106,3 +106,61 @@ func TestRepairNoFaultsNoop(t *testing.T) {
 		t.Fatalf("healthy array produced repairs: %+v", plan)
 	}
 }
+
+func TestPlanRepairResidualWorstWhenSparesRunOut(t *testing.T) {
+	arr := faultyArray(t, 0.3)
+	// One spare: every defective column but the worst stays in service.
+	used := arr.Cols() - 1
+	plan, err := arr.PlanRepair(used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Remapped) != 1 {
+		t.Fatalf("remapped %d columns with one spare", len(plan.Remapped))
+	}
+	if plan.ResidualWorst <= 0 {
+		t.Fatalf("dense faults with one spare must leave residual defects: %+v", plan)
+	}
+	before, after, err := arr.RepairEffectiveness(used, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != plan.ResidualWorst {
+		t.Fatalf("effectiveness after=%d disagrees with plan residual %d", after, plan.ResidualWorst)
+	}
+	if before < after {
+		t.Fatalf("repair made things worse: %d → %d", before, after)
+	}
+}
+
+func TestPlanRepairZeroUsedCols(t *testing.T) {
+	arr := faultyArray(t, 0.2)
+	plan, err := arr.PlanRepair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spares != arr.Cols() {
+		t.Fatalf("spares = %d, want %d", plan.Spares, arr.Cols())
+	}
+	if plan.ResidualWorst != 0 {
+		t.Fatalf("with every column spare nothing should remain: %+v", plan)
+	}
+	colMap, err := arr.ColumnMap(0, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colMap) != 0 {
+		t.Fatalf("empty mapping expected, got %v", colMap)
+	}
+	if _, after, err := arr.RepairEffectiveness(0, plan); err != nil || after != 0 {
+		t.Fatalf("effectiveness on empty mapping: after=%d err=%v", after, err)
+	}
+}
+
+func TestRepairEffectivenessPropagatesMapError(t *testing.T) {
+	arr := faultyArray(t, 0.1)
+	bad := RepairPlan{Remapped: []int{0, 1, 2, 3}}
+	if _, _, err := arr.RepairEffectiveness(arr.Cols(), bad); err == nil {
+		t.Fatal("over-retired plan must error through RepairEffectiveness")
+	}
+}

@@ -1,0 +1,74 @@
+package energy
+
+import (
+	"einsteinbarrier/internal/device"
+)
+
+// ReprogramCost prices one full crossbar recalibration pass from the
+// per-cell write counts a Reprogram call reports. Energy is the sum of
+// per-cell write energies; latency assumes row-parallel programming
+// (all cells of a row written together, SET and RESET pulses
+// interleaved), so the time is writeRounds × the slower pulse. For
+// ePCM, setWrites cells take the SET pulse and resetWrites the RESET
+// pulse; oPCM prices every write with the single phase-transition cost
+// (pass setWrites+resetWrites as setWrites and 0 resets, or split —
+// only the sum matters).
+type ReprogramCost struct {
+	SetWrites   int64
+	ResetWrites int64
+	EnergyPJ    float64
+	LatencyNs   float64
+}
+
+// TotalWrites is the number of cell writes priced.
+func (c ReprogramCost) TotalWrites() int64 { return c.SetWrites + c.ResetWrites }
+
+// Add accumulates o into c (counts and energy sum; latency sums too —
+// tiles share programming circuitry, so recalibration is serialized
+// across tiles).
+func (c *ReprogramCost) Add(o ReprogramCost) {
+	c.SetWrites += o.SetWrites
+	c.ResetWrites += o.ResetWrites
+	c.EnergyPJ += o.EnergyPJ
+	c.LatencyNs += o.LatencyNs
+}
+
+// ReprogramEPCM prices an ePCM recalibration: setWrites SET pulses and
+// resetWrites RESET pulses over a rows-tall array (rows ≤ 0 is treated
+// as 1, i.e. fully serial programming).
+func ReprogramEPCM(setWrites, resetWrites int64, rows int, p device.EPCMParams) ReprogramCost {
+	if rows <= 0 {
+		rows = 1
+	}
+	c := ReprogramCost{SetWrites: setWrites, ResetWrites: resetWrites}
+	c.EnergyPJ = float64(setWrites)*p.SetEnergyPJ + float64(resetWrites)*p.ResetEnergyPJ
+	// Row-parallel programming: ceil(writes/rows) pulse rounds per kind.
+	setRounds := (setWrites + int64(rows) - 1) / int64(rows)
+	resetRounds := (resetWrites + int64(rows) - 1) / int64(rows)
+	c.LatencyNs = float64(setRounds)*p.SetLatencyNs + float64(resetRounds)*p.ResetLatencyNs
+	return c
+}
+
+// ReprogramOPCM prices an oPCM recalibration: every cell write is one
+// phase transition regardless of direction.
+func ReprogramOPCM(setWrites, resetWrites int64, rows int, p device.OPCMParams) ReprogramCost {
+	if rows <= 0 {
+		rows = 1
+	}
+	c := ReprogramCost{SetWrites: setWrites, ResetWrites: resetWrites}
+	writes := setWrites + resetWrites
+	c.EnergyPJ = float64(writes) * p.WriteEnergyPJ
+	rounds := (writes + int64(rows) - 1) / int64(rows)
+	c.LatencyNs = float64(rounds) * p.WriteLatencyNs
+	return c
+}
+
+// ReprogramForTech dispatches on the technology of the given array
+// configuration-style inputs.
+func ReprogramForTech(tech device.Technology, setWrites, resetWrites int64, rows int,
+	epcm device.EPCMParams, opcm device.OPCMParams) ReprogramCost {
+	if tech == device.OPCM {
+		return ReprogramOPCM(setWrites, resetWrites, rows, opcm)
+	}
+	return ReprogramEPCM(setWrites, resetWrites, rows, epcm)
+}

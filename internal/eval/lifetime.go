@@ -1,0 +1,316 @@
+package eval
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/robust"
+	"einsteinbarrier/internal/serve"
+)
+
+// Device-lifetime evaluation: the robustness study (Fig. 8) prices
+// drift and faults statically; RunLifetime closes the loop by serving a
+// live request stream on ageing hardware replicas and measuring what
+// the canary-driven recalibration policy delivers — availability, the
+// accuracy-over-time trace, recalibration energy in joules, and the
+// latency SLO inside drain windows.
+
+// LifetimeScenario parameterizes one device-lifetime serving run.
+type LifetimeScenario struct {
+	// Model is a zoo network name (bnn.NewModel).
+	Model string
+	// Design selects the accelerator used for per-batch pricing; a
+	// negative value disables the Pricer.
+	Design arch.Design
+	// Eval supplies the architecture/cost tables for the Pricer
+	// (DefaultConfig when zero-valued Arch dims are detected is NOT
+	// applied — pass eval.DefaultConfig()).
+	Eval Config
+	// Hardware is the device corner the replicas are mapped at.
+	Hardware robust.Config
+	// Workers is the hardware replica count (default 1); MaxBatch caps
+	// the dynamic batcher (default 4).
+	Workers  int
+	MaxBatch int
+	// Requests is the total arrivals (required).
+	Requests int
+	// Seed drives the model weights, the canary probes, and the request
+	// payloads.
+	Seed int64
+	// CanarySize is the labeled probe count (default 16).
+	CanarySize int
+	// Lifetime is the lifecycle policy. Clock and Canary may be left
+	// nil: the runner installs a BatchClock{SecondsPerSample} and a
+	// seeded canary set.
+	Lifetime serve.LifetimeConfig
+	// SecondsPerSample scales simulated device time per served sample
+	// when Lifetime.Clock is nil. The drift horizon covered by the run
+	// is Requests·SecondsPerSample.
+	SecondsPerSample float64
+	// Fallback enables the fail-open software path.
+	Fallback bool
+	// Diurnal, when non-nil, drives arrivals with a rate-modulated
+	// Poisson schedule (serve.DiurnalSchedule); nil uses the
+	// deterministic closed loop with Clients clients (default 1 —
+	// fully reproducible trace at Workers=1).
+	Diurnal *DiurnalLoad
+	Clients int
+}
+
+// DiurnalLoad is the day/night arrival modulation.
+type DiurnalLoad struct {
+	// BaseRate/PeakRate bound the instantaneous arrival rate (req/s,
+	// wall clock); Period is one full day/night cycle.
+	BaseRate float64
+	PeakRate float64
+	Period   time.Duration
+}
+
+// LifetimeReport is the outcome of one device-lifetime run.
+type LifetimeReport struct {
+	Model  string `json:"model"`
+	Design string `json:"design"`
+	// HorizonSeconds is the simulated device time the run spans (max
+	// replica wear).
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	// Requests partition: Completed replies arrived, Shed were refused
+	// at admission, Failed errored.
+	Requests  int   `json:"requests"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Failed    int64 `json:"failed"`
+	// AvailabilityPct is Completed / (Accepted + Shed) — the fraction
+	// of offered load that got an answer.
+	AvailabilityPct float64 `json:"availability_pct"`
+	// Recalibration accounting, priced by the energy cost model.
+	Recalibrations int64   `json:"recalibrations"`
+	Retired        int     `json:"retired"`
+	RecalEnergyJ   float64 `json:"recal_energy_j"`
+	RecalLatencyMs float64 `json:"recal_latency_ms"`
+	// FallbackServed counts samples answered by the fail-open software
+	// path.
+	FallbackServed int64 `json:"fallback_served"`
+	// Drain-window latency SLO: requests served while a replica was out
+	// of rotation.
+	DrainServed int64   `json:"drain_served"`
+	DrainP99Ms  float64 `json:"drain_p99_ms"`
+	// MeanCanary / MinCanary summarize the accuracy-over-time trace;
+	// Trace is the full canary series.
+	MeanCanary float64             `json:"mean_canary_accuracy"`
+	MinCanary  float64             `json:"min_canary_accuracy"`
+	Trace      []serve.CanaryPoint `json:"trace"`
+	// Lifetime is the final per-replica lifecycle state.
+	Lifetime *serve.LifetimeSnapshot `json:"lifetime"`
+	// Stats is the server's full metrics snapshot.
+	Stats serve.Snapshot `json:"stats"`
+}
+
+// RunLifetime serves sc.Requests arrivals through ageing hardware
+// replicas of the zoo model and reports the closed recalibration loop's
+// outcome. With the closed-loop generator, one worker, and a
+// jitter-free clock the entire report (minus wall-clock latencies) is a
+// deterministic function of the scenario.
+func RunLifetime(sc LifetimeScenario) (LifetimeReport, error) {
+	if sc.Requests <= 0 {
+		return LifetimeReport{}, fmt.Errorf("eval: lifetime run needs Requests > 0, got %d", sc.Requests)
+	}
+	model, err := bnn.NewModel(sc.Model, sc.Seed)
+	if err != nil {
+		return LifetimeReport{}, err
+	}
+	backend, err := serve.NewHardwareBackend(model, sc.Hardware)
+	if err != nil {
+		return LifetimeReport{}, err
+	}
+	size := 1
+	for _, d := range model.InputShape {
+		size *= d
+	}
+
+	life := sc.Lifetime
+	if life.Clock == nil {
+		if sc.SecondsPerSample <= 0 {
+			return LifetimeReport{}, fmt.Errorf("eval: lifetime run needs a Clock or SecondsPerSample > 0")
+		}
+		life.Clock = serve.BatchClock{SecondsPerSample: sc.SecondsPerSample}
+	}
+	if life.Canary == nil {
+		n := sc.CanarySize
+		if n <= 0 {
+			n = 16
+		}
+		canary, err := serve.NewCanarySet(model, serve.SyntheticInputs(size, n, sc.Seed+1))
+		if err != nil {
+			return LifetimeReport{}, err
+		}
+		life.Canary = canary
+	}
+	if sc.Fallback && life.Fallback == nil {
+		life.Fallback = model
+	}
+
+	cfg := serve.Config{
+		Backend:  backend,
+		Workers:  max(sc.Workers, 1),
+		MaxBatch: sc.MaxBatch,
+		Lifetime: &life,
+	}
+	designName := ""
+	if sc.Design >= 0 {
+		eng, err := Pipeline(sc.Eval, model, sc.Design)
+		if err != nil {
+			return LifetimeReport{}, err
+		}
+		pricer, err := serve.NewPricer(eng)
+		if err != nil {
+			return LifetimeReport{}, err
+		}
+		cfg.Pricer = pricer
+		designName = sc.Design.String()
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return LifetimeReport{}, err
+	}
+	defer s.Stop()
+
+	load := serve.LoadConfig{
+		Requests: sc.Requests,
+		Seed:     sc.Seed + 2,
+		Clients:  max(sc.Clients, 1),
+		Inputs:   serve.SyntheticInputs(size, min(sc.Requests, 256), sc.Seed+3),
+	}
+	if d := sc.Diurnal; d != nil {
+		load.Arrivals, err = serve.DiurnalSchedule(sc.Seed+2, d.BaseRate, d.PeakRate, d.Period, sc.Requests)
+		if err != nil {
+			return LifetimeReport{}, err
+		}
+	}
+	lr, err := serve.Run(s, load)
+	if err != nil {
+		return LifetimeReport{}, err
+	}
+	// Replies are delivered before the lifecycle bookkeeping for their
+	// batch runs; Stop joins the workers so the final snapshot and trace
+	// include every served batch.
+	s.Stop()
+	lr.Stats = s.Stats()
+	return buildLifetimeReport(sc, designName, s, lr), nil
+}
+
+func buildLifetimeReport(sc LifetimeScenario, designName string, s *serve.Server, lr serve.LoadReport) LifetimeReport {
+	rep := LifetimeReport{
+		Model:     sc.Model,
+		Design:    designName,
+		Requests:  sc.Requests,
+		Completed: lr.Completed,
+		Shed:      lr.Shed,
+		Failed:    lr.Failed,
+		Trace:     s.Trace(),
+		Stats:     lr.Stats,
+		Lifetime:  lr.Stats.Lifetime,
+	}
+	if offered := lr.Stats.Accepted + lr.Stats.Shed; offered > 0 {
+		rep.AvailabilityPct = 100 * float64(lr.Completed) / float64(offered)
+	}
+	if lt := rep.Lifetime; lt != nil {
+		rep.Recalibrations = lt.Recalibrations
+		rep.Retired = lt.Retired
+		rep.RecalEnergyJ = lt.RecalEnergyPJ * 1e-12
+		rep.RecalLatencyMs = lt.RecalLatencyNs * 1e-6
+		rep.FallbackServed = lt.FallbackServed
+		for _, r := range lt.Replicas {
+			if r.WearSeconds > rep.HorizonSeconds {
+				rep.HorizonSeconds = r.WearSeconds
+			}
+		}
+	}
+	if dl := lr.Stats.DrainLatency; dl != nil {
+		rep.DrainServed = lr.Stats.DrainServed
+		rep.DrainP99Ms = dl.P99
+	}
+	if len(rep.Trace) > 0 {
+		sum, minAcc := 0.0, rep.Trace[0].Accuracy
+		for _, p := range rep.Trace {
+			sum += p.Accuracy
+			if p.Accuracy < minAcc {
+				minAcc = p.Accuracy
+			}
+		}
+		rep.MeanCanary = sum / float64(len(rep.Trace))
+		rep.MinCanary = minAcc
+	}
+	return rep
+}
+
+// LifetimeTable renders the report as a text summary plus the canary
+// accuracy-over-time trace.
+func LifetimeTable(r LifetimeReport) string {
+	var sb []byte
+	app := func(s string) { sb = append(sb, s...) }
+	app(fmt.Sprintf("Device lifetime: %s", r.Model))
+	if r.Design != "" {
+		app(fmt.Sprintf(" on %s", r.Design))
+	}
+	app(fmt.Sprintf(" — %.0f simulated device-seconds\n", r.HorizonSeconds))
+	app(fmt.Sprintf("  availability      %8.3f %%  (%d completed, %d shed, %d failed)\n",
+		r.AvailabilityPct, r.Completed, r.Shed, r.Failed))
+	app(fmt.Sprintf("  recalibrations    %8d     (%.3g J, %.3g ms write time)\n",
+		r.Recalibrations, r.RecalEnergyJ, r.RecalLatencyMs))
+	app(fmt.Sprintf("  retired replicas  %8d\n", r.Retired))
+	app(fmt.Sprintf("  fallback served   %8d samples\n", r.FallbackServed))
+	if r.DrainServed > 0 {
+		app(fmt.Sprintf("  drain p99         %8.3f ms  over %d requests\n", r.DrainP99Ms, r.DrainServed))
+	}
+	app(fmt.Sprintf("  canary accuracy   %8.4f mean, %.4f min over %d probes\n",
+		r.MeanCanary, r.MinCanary, len(r.Trace)))
+	app("\n  served      replica   age s     accuracy  event\n")
+	for _, p := range r.Trace {
+		event := ""
+		switch {
+		case p.PostRecal:
+			event = "post-recal"
+		case p.Flagged:
+			event = "flagged"
+		}
+		app(fmt.Sprintf("  %-11d %-9d %-9.0f %-9.4f %s\n",
+			p.ServedSamples, p.Replica, p.AgeSeconds, p.Accuracy, event))
+	}
+	return string(sb)
+}
+
+// WriteLifetimeJSON emits the full report as indented JSON.
+func WriteLifetimeJSON(w io.Writer, r LifetimeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteLifetimeCSV emits the accuracy-over-time trace, one row per
+// canary probe — the plottable Fig. 8 dynamic counterpart.
+func WriteLifetimeCSV(w io.Writer, r LifetimeReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"served_samples", "replica", "age_seconds", "accuracy", "flagged", "post_recal",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, p := range r.Trace {
+		if err := cw.Write([]string{
+			strconv.FormatInt(p.ServedSamples, 10), strconv.Itoa(p.Replica),
+			f(p.AgeSeconds), f(p.Accuracy),
+			strconv.FormatBool(p.Flagged), strconv.FormatBool(p.PostRecal),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

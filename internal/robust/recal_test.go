@@ -1,0 +1,145 @@
+package robust
+
+import (
+	"testing"
+
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/crossbar"
+	"einsteinbarrier/internal/dataset"
+	"einsteinbarrier/internal/device"
+	"einsteinbarrier/internal/tensor"
+)
+
+// recalCorner is the deterministic lifetime corner used across the
+// recalibration tests: ePCM with read noise off, so every prediction is
+// a pure function of the conductance planes.
+func recalCorner() Config {
+	cfg := DefaultConfig(device.EPCM)
+	cfg.Array.EPCM.ReadNoiseSigma = 0
+	cfg.Array.Seed = 17
+	return cfg
+}
+
+func recalSamples(t *testing.T, n int) []*tensor.Float {
+	t.Helper()
+	raw := dataset.Digits(n, 21)
+	xs := make([]*tensor.Float, 0, n)
+	for _, s := range raw {
+		xs = append(xs, s.X.Reshape(784))
+	}
+	return xs
+}
+
+func predictAll(t *testing.T, hw *HardwareModel, xs []*tensor.Float) []int {
+	t.Helper()
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		p, err := hw.Predict(x.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TestRecalibrateRestoresDriftedModel is the substrate half of the
+// closed-loop pin: drift visibly changes a synthetic zoo model's
+// predictions, and Recalibrate returns the planes to the canonical
+// recalibrated state — predictions bit-identical to any other
+// recalibrated instant, drift erased.
+func TestRecalibrateRestoresDriftedModel(t *testing.T) {
+	model, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := Map(model, recalCorner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := recalSamples(t, 24)
+
+	rep := hw.Recalibrate() // establish the canonical recalibrated planes
+	if rep.Layers == 0 || rep.Tiles == 0 {
+		t.Fatalf("empty recalibration report: %+v", rep)
+	}
+	cfg := recalCorner()
+	cells := int64(rep.Tiles * cfg.Array.Rows * cfg.Array.Cols)
+	if rep.SetWrites+rep.ResetWrites != cells {
+		t.Fatalf("write counts %d+%d ≠ %d cells", rep.SetWrites, rep.ResetWrites, cells)
+	}
+	wantE := float64(rep.SetWrites)*cfg.Array.EPCM.SetEnergyPJ +
+		float64(rep.ResetWrites)*cfg.Array.EPCM.ResetEnergyPJ
+	if rep.EnergyPJ != wantE {
+		t.Fatalf("recal energy %g want %g", rep.EnergyPJ, wantE)
+	}
+	if rep.LatencyNs <= 0 {
+		t.Fatalf("recal latency %g not positive", rep.LatencyNs)
+	}
+	canonical := predictAll(t, hw, xs)
+
+	hw.AgeAll(1e8) // years of drift — synthetic zoo margins collapse
+	aged := predictAll(t, hw, xs)
+	changed := 0
+	for i := range aged {
+		if aged[i] != canonical[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("1e8 s of drift changed no prediction — degradation model dead?")
+	}
+
+	rep2 := hw.Recalibrate()
+	if rep2.SetWrites != rep.SetWrites || rep2.ResetWrites != rep.ResetWrites {
+		t.Fatalf("second recal write counts differ: %+v vs %+v", rep2, rep)
+	}
+	restored := predictAll(t, hw, xs)
+	for i := range restored {
+		if restored[i] != canonical[i] {
+			t.Fatalf("sample %d: prediction %d ≠ canonical %d after recalibration",
+				i, restored[i], canonical[i])
+		}
+	}
+}
+
+// TestInjectFaultsGrowsMonotonically pins the online fault-arrival
+// primitive: with a fixed seed, growing the stuck-off rate only ever
+// adds defects — a cell faulted at rate r stays faulted (in the same
+// state) at every rate ≥ r.
+func TestInjectFaultsGrowsMonotonically(t *testing.T) {
+	model, err := bnn.NewModel("MLP-S", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := Map(model, recalCorner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, rate := range []float64{0.001, 0.003, 0.01} {
+		n, err := hw.InjectFaults(crossbar.FaultModel{StuckOffRate: rate, Seed: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("flipped cells shrank %d → %d as rate grew to %g", prev, n, rate)
+		}
+		if hw.FlippedCells != n {
+			t.Fatalf("FlippedCells %d ≠ returned %d", hw.FlippedCells, n)
+		}
+		prev = n
+	}
+	if prev == 0 {
+		t.Fatal("no cell ever flipped at 1% stuck-off")
+	}
+	// Faults survive recalibration.
+	hw.Recalibrate()
+	n, err := hw.InjectFaults(crossbar.FaultModel{StuckOffRate: 0.01, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != prev {
+		t.Fatalf("re-injecting the same population after recal flipped %d ≠ %d", n, prev)
+	}
+}

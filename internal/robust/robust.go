@@ -21,6 +21,7 @@ import (
 	"einsteinbarrier/internal/crossbar"
 	"einsteinbarrier/internal/dataset"
 	"einsteinbarrier/internal/device"
+	"einsteinbarrier/internal/energy"
 	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/tensor"
 )
@@ -311,7 +312,10 @@ func sweep(model *bnn.Model, samples []dataset.Sample, base Config, n int,
 	clones := make([]*bnn.Model, infer.Workers(base.Workers, n))
 	return infer.Map(base.Workers, n, func(w, i int) (SweepPoint, error) {
 		label, cfg, prep := corner(i)
-		hw, err := Map(model, cfg)
+		// Map a CloneShared copy: HardwareModel.Infer runs the
+		// non-binarized layers through the stored model's own scratch,
+		// which must not be shared across corner goroutines.
+		hw, err := Map(model.CloneShared(), cfg)
 		if err != nil {
 			return SweepPoint{}, err
 		}
@@ -345,6 +349,62 @@ func NoiseSweep(model *bnn.Model, samples []dataset.Sample, base Config, sigmas 
 		}
 		return fmt.Sprintf("sigma=%g", sigma), cfg, nil
 	})
+}
+
+// RecalReport summarizes one closed-loop recalibration pass: how much
+// re-programming was done and what it cost under the device write
+// energies. Serving-layer controllers aggregate these into per-replica
+// lifetime energy totals.
+type RecalReport struct {
+	// Layers and Tiles re-programmed.
+	Layers, Tiles int
+	// SetWrites / ResetWrites are the per-cell write counts.
+	SetWrites, ResetWrites int64
+	// EnergyPJ and LatencyNs price the pass via the device write costs
+	// (energy.ReprogramEPCM / ReprogramOPCM; tiles serialized).
+	EnergyPJ, LatencyNs float64
+}
+
+// Recalibrate re-programs every mapped layer's crossbar tiles in place:
+// drift ages reset to zero, programming variability is re-drawn
+// deterministically (each tile's RNG restarts from its seed, so
+// recalibrating twice yields bit-identical planes), and stuck-at
+// defects are re-applied — recalibration cannot heal physical damage.
+// The pass is priced from the write counts and the configured device
+// parameters.
+func (h *HardwareModel) Recalibrate() RecalReport {
+	var r RecalReport
+	for _, tm := range h.mapped {
+		set, reset := tm.Reprogram()
+		cost := energy.ReprogramForTech(h.cfg.Array.Tech, set, reset,
+			h.cfg.Array.Rows, h.cfg.Array.EPCM, h.cfg.Array.OPCM)
+		r.Layers++
+		r.Tiles += tm.Tiles()
+		r.SetWrites += set
+		r.ResetWrites += reset
+		r.EnergyPJ += cost.EnergyPJ
+		r.LatencyNs += cost.LatencyNs
+	}
+	return r
+}
+
+// InjectFaults re-draws the stuck-at defect population across every
+// mapped layer from the given model, replacing any previous population
+// (each tile derives its placement from the model seed, so a fixed seed
+// with a growing rate yields a monotonically growing fault set — the
+// online fault-arrival primitive). Returns the flipped-cell count,
+// which also replaces FlippedCells.
+func (h *HardwareModel) InjectFaults(f crossbar.FaultModel) (int, error) {
+	flipped := 0
+	for _, tm := range h.mapped {
+		n, err := tm.InjectFaults(f)
+		if err != nil {
+			return flipped, err
+		}
+		flipped += n
+	}
+	h.FlippedCells = flipped
+	return flipped, nil
 }
 
 // AgeAll advances every mapped layer's device age (ePCM drift study;

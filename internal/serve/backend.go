@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/crossbar"
 	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/sim"
@@ -38,6 +39,23 @@ type Backend interface {
 // xs[i]; out has len(xs). Replicas are never shared across goroutines.
 type Replica interface {
 	RunBatch(xs []*tensor.Float, out []Prediction) error
+}
+
+// LifetimeReplica is a Replica whose simulated device physics can age,
+// degrade, and be recalibrated online — the contract device-lifetime
+// mode (Config.Lifetime) requires of every replica. Hardware replicas
+// implement it; software replicas do not age and cannot serve in
+// lifetime mode (except as the fail-open fallback).
+type LifetimeReplica interface {
+	Replica
+	// Age advances the replica's simulated device age (drift).
+	Age(seconds float64)
+	// Recalibrate re-programs every crossbar plane in place, resetting
+	// drift age, and reports the priced write pass.
+	Recalibrate() robust.RecalReport
+	// InjectFaults re-draws the stuck-at population (wear-driven fault
+	// arrival); returns the logically flipped cell count.
+	InjectFaults(f crossbar.FaultModel) (int, error)
 }
 
 // --- software backend ----------------------------------------------------
@@ -127,7 +145,10 @@ func (b *HardwareBackend) InputShape() []int { return b.model.InputShape }
 
 // NewReplica implements Backend.
 func (b *HardwareBackend) NewReplica() (Replica, error) {
-	hw, err := robust.Map(b.model, b.cfg)
+	// Each replica owns a CloneShared copy: the model's non-binarized
+	// layers still run in software inside HardwareModel.Infer and reuse
+	// layer scratch, which must not be shared across worker goroutines.
+	hw, err := robust.Map(b.model.CloneShared(), b.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +169,17 @@ func (r *hardwareReplica) RunBatch(xs []*tensor.Float, out []Prediction) error {
 		out[i] = Prediction{Class: y.ArgMax(), Logits: append([]float64(nil), y.Data()...)}
 	}
 	return nil
+}
+
+// Age implements LifetimeReplica: simulated drift on every mapped tile.
+func (r *hardwareReplica) Age(seconds float64) { r.hw.AgeAll(seconds) }
+
+// Recalibrate implements LifetimeReplica.
+func (r *hardwareReplica) Recalibrate() robust.RecalReport { return r.hw.Recalibrate() }
+
+// InjectFaults implements LifetimeReplica.
+func (r *hardwareReplica) InjectFaults(f crossbar.FaultModel) (int, error) {
+	return r.hw.InjectFaults(f)
 }
 
 // --- per-batch accelerator pricing ---------------------------------------

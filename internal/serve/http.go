@@ -85,9 +85,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	rep := <-ch
+	// Honor the request context while waiting for the reply: a stuck or
+	// slow replica must not hang the connection past the caller's
+	// deadline. The request itself still completes server-side (it is
+	// already batched); only this connection gives up.
+	var rep Reply
+	select {
+	case rep = <-ch:
+	case <-r.Context().Done():
+		s.metrics.timedOut.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: fmt.Sprintf("request timed out: %v", r.Context().Err())})
+		return
+	}
 	if rep.Err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: rep.Err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(rep.Err, ErrNoHealthyReplica) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorBody{Error: rep.Err.Error()})
 		return
 	}
 	res := rep.Result

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/tensor"
 )
 
 // httpServer builds a started software server with a fast flush.
@@ -116,6 +120,82 @@ func TestHTTPStatsAndHealthz(t *testing.T) {
 	rec, out = doJSON(t, h, http.MethodGet, "/healthz", "")
 	if rec.Code != http.StatusOK || out["status"] != "ok" {
 		t.Fatalf("healthz: %d %v", rec.Code, out)
+	}
+}
+
+// hangBackend's replicas block on a gate until it is closed — it pins
+// the HTTP deadline path without depending on wall-clock slop.
+type hangBackend struct {
+	model *bnn.Model
+	gate  chan struct{}
+}
+
+func (b *hangBackend) Name() string      { return "hang" }
+func (b *hangBackend) InputShape() []int { return b.model.InputShape }
+func (b *hangBackend) NewReplica() (Replica, error) {
+	return &hangReplica{gate: b.gate}, nil
+}
+
+type hangReplica struct{ gate chan struct{} }
+
+func (r *hangReplica) RunBatch(xs []*tensor.Float, out []Prediction) error {
+	<-r.gate
+	for i := range out {
+		out[i] = Prediction{Class: 0, Logits: []float64{0}}
+	}
+	return nil
+}
+
+func TestHTTPInferTimeout(t *testing.T) {
+	model := zooModel(t, "MLP-S")
+	gate := make(chan struct{})
+	s, err := New(Config{Backend: &hangBackend{model: model, gate: gate}, MaxBatch: 1, MaxWait: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+
+	input := make([]float64, 784)
+	body, _ := json.Marshal(InferRequest{Input: input})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(string(body))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+
+	// Wait until the request is actually admitted, then hang up the
+	// connection while the replica is still stuck on the gate.
+	waitFor(t, "request admitted", func() bool { return s.Stats().Accepted == 1 })
+	cancel()
+	<-done
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", rec.Code, rec.Body.String())
+	}
+	if got := s.Stats().TimedOut; got != 1 {
+		t.Fatalf("TimedOut = %d, want 1", got)
+	}
+
+	// The batch was already dispatched: releasing the replica completes
+	// it server-side even though the connection is gone.
+	close(gate)
+	waitFor(t, "abandoned request completed", func() bool { return s.Stats().Completed == 1 })
+}
+
+// waitFor polls cond with a deadline so a broken invariant fails the
+// test instead of hanging it.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

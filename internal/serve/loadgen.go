@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -36,6 +37,10 @@ type LoadConfig struct {
 	Requests int
 	// Seed drives the arrival schedule.
 	Seed int64
+	// Arrivals, when non-empty, is an explicit open-loop arrival
+	// schedule (offsets from the run start); it overrides Rate/Seed and
+	// must have at least Requests entries. See DiurnalSchedule.
+	Arrivals []time.Duration
 	// Inputs are the request payloads, cycled in arrival order
 	// (required — see SyntheticInputs).
 	Inputs []*tensor.Float
@@ -49,6 +54,8 @@ func (c LoadConfig) validate() error {
 		return fmt.Errorf("serve: loadgen needs at least one input payload")
 	case c.Rate < 0:
 		return fmt.Errorf("serve: negative arrival rate %g", c.Rate)
+	case len(c.Arrivals) > 0 && len(c.Arrivals) < c.Requests:
+		return fmt.Errorf("serve: %d arrivals for %d requests", len(c.Arrivals), c.Requests)
 	}
 	return nil
 }
@@ -84,6 +91,39 @@ func Schedule(seed int64, rate float64, n int) []time.Duration {
 	return out
 }
 
+// DiurnalSchedule returns deterministic arrival offsets for a
+// rate-modulated (nonhomogeneous) Poisson process: the instantaneous
+// rate swings sinusoidally between baseRate and peakRate over the given
+// period, starting at the trough. Arrivals are drawn by Lewis–Shedler
+// thinning of a homogeneous peakRate process, so identical arguments
+// give the identical schedule on any host — the diurnal counterpart of
+// Schedule.
+func DiurnalSchedule(seed int64, baseRate, peakRate float64, period time.Duration, n int) ([]time.Duration, error) {
+	switch {
+	case baseRate <= 0:
+		return nil, fmt.Errorf("serve: diurnal base rate %g must be > 0", baseRate)
+	case peakRate < baseRate:
+		return nil, fmt.Errorf("serve: diurnal peak rate %g below base %g", peakRate, baseRate)
+	case period <= 0:
+		return nil, fmt.Errorf("serve: diurnal period %v must be > 0", period)
+	case n <= 0:
+		return nil, fmt.Errorf("serve: diurnal schedule needs n > 0, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, 0, n)
+	t := 0.0
+	ps := period.Seconds()
+	for len(out) < n {
+		t += rng.ExpFloat64() / peakRate
+		// rate(t): trough at t=0, crest at t=period/2.
+		rate := baseRate + (peakRate-baseRate)*0.5*(1-math.Cos(2*math.Pi*t/ps))
+		if rng.Float64()*peakRate <= rate {
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+	return out, nil
+}
+
 // Run drives one server with one load configuration. The server is
 // started if it was not already; it is left running (callers own Stop)
 // so sweeps can inspect it afterwards.
@@ -106,8 +146,12 @@ func Run(s *Server, cfg LoadConfig) (LoadReport, error) {
 	}
 	begin := time.Now()
 	var wg sync.WaitGroup
-	if cfg.Rate > 0 {
-		for i, off := range Schedule(cfg.Seed, cfg.Rate, cfg.Requests) {
+	schedule := cfg.Arrivals
+	if len(schedule) == 0 && cfg.Rate > 0 {
+		schedule = Schedule(cfg.Seed, cfg.Rate, cfg.Requests)
+	}
+	if len(schedule) > 0 {
+		for i, off := range schedule[:cfg.Requests] {
 			if d := time.Until(begin.Add(off)); d > 0 {
 				time.Sleep(d)
 			}

@@ -299,3 +299,46 @@ func TestSweepMaxBatch(t *testing.T) {
 		t.Fatal("accepted MaxBatch 0")
 	}
 }
+
+// TestDiurnalSchedule: the rate-modulated schedule is a pure function
+// of its arguments, offsets are ordered, and arrivals concentrate in
+// the crest half of each period.
+func TestDiurnalSchedule(t *testing.T) {
+	a, err := DiurnalSchedule(9, 10, 100, time.Second, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := DiurnalSchedule(9, 10, 100, time.Second, 500)
+	if len(a) != 500 {
+		t.Fatalf("schedule length %d", len(a))
+	}
+	crest, trough := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs across identical seeds: %v != %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("offsets decrease at %d: %v < %v", i, a[i], a[i-1])
+		}
+		// The rate troughs at phase 0 and crests at phase 0.5.
+		phase := a[i].Seconds() - float64(int(a[i].Seconds()))
+		if phase >= 0.25 && phase < 0.75 {
+			crest++
+		} else {
+			trough++
+		}
+	}
+	if crest < 2*trough {
+		t.Fatalf("no diurnal modulation: %d crest vs %d trough arrivals", crest, trough)
+	}
+	for name, call := range map[string]func() ([]time.Duration, error){
+		"zero base":       func() ([]time.Duration, error) { return DiurnalSchedule(9, 0, 100, time.Second, 10) },
+		"peak below base": func() ([]time.Duration, error) { return DiurnalSchedule(9, 10, 5, time.Second, 10) },
+		"zero period":     func() ([]time.Duration, error) { return DiurnalSchedule(9, 10, 100, 0, 10) },
+		"zero n":          func() ([]time.Duration, error) { return DiurnalSchedule(9, 10, 100, time.Second, 0) },
+	} {
+		if _, err := call(); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

@@ -52,6 +52,8 @@ type metrics struct {
 	accepted atomic.Int64
 	shed     atomic.Int64
 	rejected atomic.Int64
+	timedOut atomic.Int64
+	retries  atomic.Int64
 
 	mu        sync.Mutex
 	completed int64
@@ -61,6 +63,11 @@ type metrics struct {
 	maxNs     int64
 	total     int64
 	hist      [histSize]int64
+	// Drain-window latencies (lifetime mode): requests served while a
+	// replica was out of rotation, or queued behind a drain.
+	drainMaxNs int64
+	drainTotal int64
+	drainHist  [histSize]int64
 }
 
 func newMetrics() *metrics {
@@ -91,28 +98,47 @@ func (m *metrics) observeLatency(ns int64) {
 	}
 }
 
-// quantileNs returns the q-quantile latency upper bound. Callers hold mu.
-func (m *metrics) quantileNs(q float64) int64 {
-	if m.total == 0 {
+// observeDrainLatency additionally attributes a latency to the drain
+// window (the request was served while a replica was being drained or
+// recalibrated).
+func (m *metrics) observeDrainLatency(ns int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drainHist[bucketIndex(ns)]++
+	m.drainTotal++
+	if ns > m.drainMaxNs {
+		m.drainMaxNs = ns
+	}
+}
+
+// histQuantileNs returns the q-quantile upper bound of a histogram.
+// Callers hold mu.
+func histQuantileNs(hist *[histSize]int64, total, maxNs int64, q float64) int64 {
+	if total == 0 {
 		return 0
 	}
-	rank := int64(q*float64(m.total) + 0.5)
+	rank := int64(q*float64(total) + 0.5)
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > m.total {
-		rank = m.total
+	if rank > total {
+		rank = total
 	}
 	var cum int64
-	for i, c := range m.hist {
+	for i, c := range hist {
 		cum += c
 		if cum >= rank {
 			// The bucket upper bound can overshoot the true maximum by
 			// the bucket width; the exact max is tracked separately.
-			return min(bucketUpper(i), m.maxNs)
+			return min(bucketUpper(i), maxNs)
 		}
 	}
-	return m.maxNs
+	return maxNs
+}
+
+// quantileNs returns the q-quantile latency upper bound. Callers hold mu.
+func (m *metrics) quantileNs(q float64) int64 {
+	return histQuantileNs(&m.hist, m.total, m.maxNs, q)
 }
 
 // LatencyMs is the latency SLO block of a Snapshot, in milliseconds.
@@ -135,6 +161,12 @@ type Snapshot struct {
 	Accepted int64 `json:"accepted"`
 	Shed     int64 `json:"shed"`
 	Rejected int64 `json:"rejected"`
+	// TimedOut counts HTTP requests whose context deadline expired
+	// before the reply (504s); the request itself still completed
+	// server-side. Retries counts batch re-executions after transient
+	// replica errors.
+	TimedOut int64 `json:"timed_out"`
+	Retries  int64 `json:"retries"`
 	// ShedRate is Shed / (Accepted + Shed).
 	ShedRate float64 `json:"shed_rate"`
 	// Completed/Failed counts replies; Batches the dispatched batches;
@@ -150,8 +182,16 @@ type Snapshot struct {
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
 	// Latency quantiles (enqueue→reply, histogram upper bounds).
 	Latency LatencyMs `json:"latency_ms"`
+	// DrainLatency quantiles over requests served inside a drain window
+	// (lifetime mode; nil when no drain has been observed) — the SLO
+	// view of recalibration pressure.
+	DrainLatency *LatencyMs `json:"drain_latency_ms,omitempty"`
+	// DrainServed counts the requests attributed to drain windows.
+	DrainServed int64 `json:"drain_served,omitempty"`
 	// Sim is the simulated-accelerator view when a Pricer is attached.
 	Sim *SimSnapshot `json:"sim,omitempty"`
+	// Lifetime is the device-lifetime block when lifetime mode is on.
+	Lifetime *LifetimeSnapshot `json:"lifetime,omitempty"`
 }
 
 // snapshot assembles a Snapshot.
@@ -162,6 +202,8 @@ func (m *metrics) snapshot(backend string, queueDepth int) Snapshot {
 		Accepted:   accepted,
 		Shed:       shed,
 		Rejected:   m.rejected.Load(),
+		TimedOut:   m.timedOut.Load(),
+		Retries:    m.retries.Load(),
 		QueueDepth: queueDepth,
 	}
 	if accepted+shed > 0 {
@@ -185,6 +227,15 @@ func (m *metrics) snapshot(backend string, queueDepth int) Snapshot {
 		P95: float64(m.quantileNs(0.95)) * msPerNs,
 		P99: float64(m.quantileNs(0.99)) * msPerNs,
 		Max: float64(m.maxNs) * msPerNs,
+	}
+	if m.drainTotal > 0 {
+		s.DrainServed = m.drainTotal
+		s.DrainLatency = &LatencyMs{
+			P50: float64(histQuantileNs(&m.drainHist, m.drainTotal, m.drainMaxNs, 0.50)) * msPerNs,
+			P95: float64(histQuantileNs(&m.drainHist, m.drainTotal, m.drainMaxNs, 0.95)) * msPerNs,
+			P99: float64(histQuantileNs(&m.drainHist, m.drainTotal, m.drainMaxNs, 0.99)) * msPerNs,
+			Max: float64(m.drainMaxNs) * msPerNs,
+		}
 	}
 	return s
 }

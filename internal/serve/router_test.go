@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -176,5 +177,48 @@ func TestNewRouterRejectsBadEntries(t *testing.T) {
 	}
 	if _, err := NewRouter([]RouterEntry{{Name: "a", Server: s}, {Name: "a", Server: s}}); err == nil {
 		t.Fatal("duplicate names must error")
+	}
+}
+
+func TestRouterUnknownModel404(t *testing.T) {
+	r := routerUnderTest(t)
+	h := r.Handler()
+	rec, out := doJSON(t, h, http.MethodPost, "/infer?model=ghost", inferBody(t, 784))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404: %v", rec.Code, out)
+	}
+	// The error names the offender and the served set.
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "ghost") || !strings.Contains(msg, "MLP-S") {
+		t.Fatalf("404 body should name the model and the served set: %q", msg)
+	}
+	// Multi-model router: an omitted model cannot be defaulted.
+	if rec, _ := doJSON(t, h, http.MethodPost, "/infer", inferBody(t, 784)); rec.Code != http.StatusNotFound {
+		t.Fatalf("omitted model on multi-model router: status %d, want 404", rec.Code)
+	}
+	if rec, _ := doJSON(t, h, http.MethodGet, "/nope", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", rec.Code)
+	}
+}
+
+func TestRouterStoppedServer(t *testing.T) {
+	r := routerUnderTest(t)
+	h := r.Handler()
+	r.Stop()
+	rec, _ := doJSON(t, h, http.MethodPost, "/infer?model=MLP-S", inferBody(t, 784))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("infer on stopped router: status %d, want 503", rec.Code)
+	}
+	rec, out := doJSON(t, h, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz on stopped router: status %d, want 503: %v", rec.Code, out)
+	}
+	models, ok := out["models"].(map[string]any)
+	if !ok || models["MLP-S"] != "stopped" || models["CNN-M"] != "stopped" {
+		t.Fatalf("healthz should report every model stopped: %v", out)
+	}
+	// Stats still answers on a stopped router (post-mortem inspection).
+	if rec, _ := doJSON(t, h, http.MethodGet, "/stats", ""); rec.Code != http.StatusOK {
+		t.Fatalf("stats on stopped router: status %d, want 200", rec.Code)
 	}
 }

@@ -43,6 +43,10 @@ import (
 var (
 	ErrOverloaded = errors.New("serve: overloaded, request shed")
 	ErrClosed     = errors.New("serve: server is stopped")
+	// ErrNoHealthyReplica fails batches when every hardware replica has
+	// been retired and no software fallback is configured (lifetime
+	// mode) — fail loudly rather than queue forever.
+	ErrNoHealthyReplica = errors.New("serve: no healthy replica")
 )
 
 // Config parameterizes a Server.
@@ -65,6 +69,18 @@ type Config struct {
 	// Pricer, when non-nil, prices every served batch on the simulated
 	// accelerator (see NewPricer).
 	Pricer *Pricer
+	// MaxRetries re-runs a failed batch on its replica up to this many
+	// extra times before failing the requests (default 0: no retries) —
+	// transient-fault absorption at the batcher layer.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 0: immediate).
+	RetryBackoff time.Duration
+	// Lifetime, when non-nil, turns on device-lifetime mode: replicas
+	// age with served work, canary probes detect degradation, and a
+	// closed loop drains + recalibrates flagged replicas. Requires every
+	// replica to implement LifetimeReplica (i.e. a hardware backend).
+	Lifetime *LifetimeConfig
 }
 
 // withDefaults fills unset fields.
@@ -80,6 +96,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Lifetime != nil {
+		c.Lifetime = c.Lifetime.withDefaults()
 	}
 	return c
 }
@@ -128,6 +150,8 @@ type Server struct {
 	queue     chan *request
 	batches   chan batchJob
 	replicas  []Replica
+	fallback  Replica   // software fail-open replica (lifetime mode)
+	life      *lifetime // nil unless Config.Lifetime is set
 	metrics   *metrics
 	batchSeq  int64 // owned by the batcher goroutine
 
@@ -162,6 +186,27 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.replicas = append(s.replicas, r)
 	}
+	if cfg.Lifetime != nil {
+		if err := cfg.Lifetime.validate(); err != nil {
+			return nil, err
+		}
+		for w, r := range s.replicas {
+			if _, ok := r.(LifetimeReplica); !ok {
+				return nil, fmt.Errorf("serve: lifetime mode needs aging replicas; %q replica %d cannot age",
+					cfg.Backend.Name(), w)
+			}
+		}
+		if m := cfg.Lifetime.Fallback; m != nil {
+			fb, err := NewSoftwareBackend(m, cfg.Lifetime.FallbackWorkers)
+			if err != nil {
+				return nil, fmt.Errorf("serve: fallback: %w", err)
+			}
+			if s.fallback, err = fb.NewReplica(); err != nil {
+				return nil, fmt.Errorf("serve: fallback replica: %w", err)
+			}
+		}
+		s.life = newLifetime(cfg.Lifetime, cfg.Workers)
+	}
 	return s, nil
 }
 
@@ -178,8 +223,12 @@ func (s *Server) Start() {
 	s.started = true
 	s.wg.Add(1 + len(s.replicas))
 	go s.batchLoop()
-	for _, r := range s.replicas {
-		go s.workLoop(r)
+	for w, r := range s.replicas {
+		go s.workLoop(w, r)
+	}
+	if s.fallback != nil {
+		s.wg.Add(1)
+		go s.fallbackLoop(s.fallback)
 	}
 }
 
@@ -275,6 +324,9 @@ func (s *Server) Stats() Snapshot {
 		sim := s.cfg.Pricer.Snapshot()
 		snap.Sim = &sim
 	}
+	if s.life != nil {
+		snap.Lifetime = s.life.snapshot()
+	}
 	return snap
 }
 
@@ -350,9 +402,35 @@ func (s *Server) batchLoop() {
 }
 
 // dispatch stamps the batch sequence number and hands the batch off.
+// In lifetime mode, when the last replica retires with no fallback the
+// dead channel fires and batches fail with ErrNoHealthyReplica instead
+// of blocking the batcher forever.
 func (s *Server) dispatch(batch []*request) {
-	s.batches <- batchJob{seq: s.batchSeq, reqs: batch}
+	job := batchJob{seq: s.batchSeq, reqs: batch}
 	s.batchSeq++
+	if s.life != nil {
+		select {
+		case <-s.life.dead:
+			s.failBatch(batch, ErrNoHealthyReplica)
+			return
+		default:
+		}
+		select {
+		case s.batches <- job:
+		case <-s.life.dead:
+			s.failBatch(batch, ErrNoHealthyReplica)
+		}
+		return
+	}
+	s.batches <- job
+}
+
+// failBatch answers every request of an undeliverable batch.
+func (s *Server) failBatch(batch []*request, err error) {
+	s.metrics.batchServed(len(batch), false)
+	for _, r := range batch {
+		r.reply <- Reply{Err: err}
+	}
 }
 
 // runReplica executes one batch, converting a replica panic into an
@@ -366,45 +444,75 @@ func runReplica(rep Replica, xs []*tensor.Float, preds []Prediction) (err error)
 	return rep.RunBatch(xs, preds)
 }
 
-// workLoop executes batches on one backend replica.
-func (s *Server) workLoop(rep Replica) {
+// workLoop executes batches on one backend replica. In lifetime mode
+// the replica ages with its served work and runs the canary /
+// recalibration lifecycle between batches; a retired replica's worker
+// leaves the rotation for good.
+func (s *Server) workLoop(id int, rep Replica) {
 	defer s.wg.Done()
+	if s.life != nil {
+		defer s.life.workerExit(id)
+	}
 	var (
 		xs    []*tensor.Float
 		preds []Prediction
 	)
 	for job := range s.batches {
-		batch := job.reqs
-		dispatched := time.Now()
-		xs = xs[:0]
-		for _, r := range batch {
-			xs = append(xs, r.x)
+		s.serveBatch(rep, job, &xs, &preds, false)
+		if s.life != nil && s.life.afterBatch(id, rep, len(job.reqs)) {
+			return // retired
 		}
-		if cap(preds) < len(batch) {
-			preds = make([]Prediction, len(batch))
+	}
+}
+
+// serveBatch executes one dispatched batch on a replica, retrying
+// failed runs up to Config.MaxRetries with doubling backoff, then
+// answers every request. Scratch slices live with the calling loop.
+func (s *Server) serveBatch(rep Replica, job batchJob, xsp *[]*tensor.Float, predsp *[]Prediction, viaFallback bool) {
+	batch := job.reqs
+	dispatched := time.Now()
+	xs := (*xsp)[:0]
+	for _, r := range batch {
+		xs = append(xs, r.x)
+	}
+	*xsp = xs
+	preds := *predsp
+	if cap(preds) < len(batch) {
+		preds = make([]Prediction, len(batch))
+	}
+	preds = preds[:len(batch)]
+	*predsp = preds
+	err := runReplica(rep, xs, preds)
+	for attempt := 0; err != nil && attempt < s.cfg.MaxRetries; attempt++ {
+		s.metrics.retries.Add(1)
+		if s.cfg.RetryBackoff > 0 {
+			time.Sleep(s.cfg.RetryBackoff << attempt)
 		}
-		preds = preds[:len(batch)]
-		err := runReplica(rep, xs, preds)
-		if err == nil && s.cfg.Pricer != nil {
-			s.cfg.Pricer.price(len(batch))
+		err = runReplica(rep, xs, preds)
+	}
+	if err == nil && s.cfg.Pricer != nil {
+		s.cfg.Pricer.price(len(batch))
+	}
+	drain := s.life != nil && (viaFallback || s.life.inDrain())
+	done := time.Now()
+	s.metrics.batchServed(len(batch), err == nil)
+	for i, r := range batch {
+		lat := done.Sub(r.enq).Nanoseconds()
+		if err != nil {
+			r.reply <- Reply{Err: err}
+			continue
 		}
-		done := time.Now()
-		s.metrics.batchServed(len(batch), err == nil)
-		for i, r := range batch {
-			lat := done.Sub(r.enq).Nanoseconds()
-			if err != nil {
-				r.reply <- Reply{Err: err}
-				continue
-			}
-			s.metrics.observeLatency(lat)
-			r.reply <- Reply{Result: Result{
-				Class:     preds[i].Class,
-				Logits:    preds[i].Logits,
-				BatchSize: len(batch),
-				BatchSeq:  job.seq,
-				QueueNs:   dispatched.Sub(r.enq).Nanoseconds(),
-				LatencyNs: lat,
-			}}
+		s.metrics.observeLatency(lat)
+		if drain {
+			s.metrics.observeDrainLatency(lat)
 		}
+		r.reply <- Reply{Result: Result{
+			Class:     preds[i].Class,
+			Logits:    preds[i].Logits,
+			BatchSize: len(batch),
+			BatchSeq:  job.seq,
+			QueueNs:   dispatched.Sub(r.enq).Nanoseconds(),
+			LatencyNs: lat,
+		}}
 	}
 }

@@ -7,10 +7,8 @@ import (
 	"testing"
 	"time"
 
-	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/device"
-	"einsteinbarrier/internal/eval"
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/tensor"
 )
@@ -325,78 +323,6 @@ func TestBackendPanicFailsBatchNotServer(t *testing.T) {
 	}
 	if st := s.Stats(); st.Failed != 3 || st.Completed != 0 {
 		t.Fatalf("failed %d completed %d, want 3/0", st.Failed, st.Completed)
-	}
-}
-
-// TestSimThroughputApproachesCeiling is the acceptance pin: a saturated
-// stream forms full batches, and the per-batch sim pricing of those
-// batches approaches the analytic pipeline ceiling of the design —
-// the online counterpart of eval.ThroughputAt.
-func TestSimThroughputApproachesCeiling(t *testing.T) {
-	model := zooModel(t, "CNN-S")
-	eng, err := eval.Pipeline(eval.DefaultConfig(), model, arch.EinsteinBarrier)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pricer, err := NewPricer(eng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	backend, err := NewSoftwareBackend(model, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const maxBatch, n = 256, 512
-	s, err := New(Config{
-		Backend:  backend,
-		MaxBatch: maxBatch,
-		MaxWait:  time.Hour,
-		QueueCap: n,
-		Pricer:   pricer,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	xs := testInputs(t, model, 16, 3)
-	chans := make([]<-chan Reply, n)
-	for i := 0; i < n; i++ {
-		ch, err := s.SubmitAsync(xs[i%len(xs)])
-		if err != nil {
-			t.Fatal(err)
-		}
-		chans[i] = ch
-	}
-	s.Start()
-	for i, ch := range chans {
-		if rep := <-ch; rep.Err != nil {
-			t.Fatalf("reply %d: %v", i, rep.Err)
-		}
-	}
-	s.Stop()
-
-	sim := s.Stats().Sim
-	if sim == nil {
-		t.Fatal("no sim snapshot with a pricer attached")
-	}
-	if sim.Samples != n || sim.Batches != n/maxBatch {
-		t.Fatalf("priced %d samples in %d batches, want %d in %d", sim.Samples, sim.Batches, n, n/maxBatch)
-	}
-	// The saturated stream produced only full batches, so the achieved
-	// simulated throughput equals RunBatch(MaxBatch) exactly…
-	want, err := eng.RunBatch(maxBatch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rel := (sim.PerSec - want.ThroughputPerSec) / want.ThroughputPerSec; rel > 1e-9 || rel < -1e-9 {
-		t.Fatalf("sim throughput %v, want %v (rel %v)", sim.PerSec, want.ThroughputPerSec, rel)
-	}
-	// …and approaches the analytic steady-state ceiling.
-	if sim.CeilingPerSec <= 0 || sim.PerSec < 0.9*sim.CeilingPerSec {
-		t.Fatalf("sim throughput %v is below 90%% of ceiling %v (bottleneck %s)",
-			sim.PerSec, sim.CeilingPerSec, sim.Bottleneck)
-	}
-	if sim.MeanEnergyPJ <= 0 || sim.LatencyNs <= 0 {
-		t.Fatalf("sim snapshot missing energy/latency: %+v", sim)
 	}
 }
 
