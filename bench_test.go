@@ -510,6 +510,55 @@ func BenchmarkPlacement(b *testing.B) {
 	})
 }
 
+// BenchmarkPlacerSearch measures the optimizing placer at its default
+// step count: a full simulated-annealing search over MLP-L layouts with
+// the pipeline engine as the objective, every run sharing one
+// fingerprint-keyed evaluation cache (the repeated-search pattern of
+// ComparePlacements and serve recompilation — search is deterministic,
+// so revisited layouts are priced exactly once across the whole
+// benchmark). steps/s is the candidate-evaluation rate, cache-hit-% the
+// evaluator's cumulative hit rate (the acceptance floor is ≥50%), and
+// inf/s the searched layout's engine-measured objective.
+func BenchmarkPlacerSearch(b *testing.B) {
+	cfg := eval.DefaultConfig()
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	pe, err := simulator.PlacementEvaluator(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := bnn.NewModel("MLP-L", cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	search := func() *compiler.SearchPlacer {
+		sp, err := compiler.NewSearchPlacer(model, cfg.Arch, arch.EinsteinBarrier, pe,
+			compiler.SearchOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := compiler.CompileWith(model, cfg.Arch, arch.EinsteinBarrier,
+			compiler.Options{Placer: sp}); err != nil {
+			b.Fatal(err)
+		}
+		return sp
+	}
+	search() // warm the shared cache, untimed
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sp *compiler.SearchPlacer
+	for i := 0; i < b.N; i++ {
+		sp = search()
+	}
+	st := sp.Stats()
+	b.ReportMetric(float64(b.N*st.Steps)/b.Elapsed().Seconds(), "steps/s")
+	b.ReportMetric(100*pe.HitRate(), "cache-hit-%")
+	b.ReportMetric(st.BestScore, "inf/s")
+}
+
 // BenchmarkServe measures the online serving subsystem end to end:
 // closed-loop clients stream requests through the admission queue and
 // the dynamic batcher into backend replicas. ns/op is the wall-clock

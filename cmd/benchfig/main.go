@@ -53,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	batch := fs.String("batch", "1,2,4,8,16,32", "comma-separated batch sizes for -fig batch (-fig placement uses the maximum)")
 	designNames := fs.String("designs", "", "comma-separated design names/aliases (default: every registered design for -fig batch, the paper set otherwise)")
 	placerNames := fs.String("placers", "", "comma-separated placers for -fig placement (default: "+strings.Join(compiler.PlacerNames, ",")+")")
+	searchSteps := fs.Int("search-steps", compiler.DefaultSearchSteps, "candidate-evaluation budget of the search placer")
+	searchSeed := fs.Int64("search-seed", 1, "search placer RNG seed")
+	searchBatch := fs.Int("search-batch", 0, "batch size of the search objective (0 = the figure's batch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,7 @@ func run(args []string, out io.Writer) error {
 	cfg := eval.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Search = eval.SearchSpec{Steps: *searchSteps, Seed: *searchSeed, Batch: *searchBatch}
 	if *k > 0 {
 		cfg.Arch.WDMCapacity = *k
 	}
@@ -146,6 +150,10 @@ func run(args []string, out io.Writer) error {
 			return enc.Encode(rows)
 		}
 		fmt.Fprint(out, eval.PlacementTable(rows))
+		if wins := eval.PlacementWins(rows); len(wins) > 0 {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, eval.WinsTable(wins))
+		}
 		return nil
 	case "wdm":
 		return wdmSweep(out, cfg)
@@ -160,19 +168,23 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// parsePlacers resolves a comma-separated placer list; empty means the
-// full built-in set.
-func parsePlacers(names string) ([]compiler.Placer, error) {
+// parsePlacers validates a comma-separated placer list; empty means the
+// full built-in set (search included). Heuristic names go through
+// compiler.ParsePlacer; "search" is legal here because ComparePlacements
+// builds the model-bound search placers itself.
+func parsePlacers(names string) ([]string, error) {
 	if strings.TrimSpace(names) == "" {
 		return nil, nil
 	}
-	var out []compiler.Placer
+	var out []string
 	for _, n := range strings.Split(names, ",") {
-		p, err := compiler.ParsePlacer(n)
-		if err != nil {
-			return nil, err
+		n = strings.TrimSpace(n)
+		if n != "search" {
+			if _, err := compiler.ParsePlacer(n); err != nil {
+				return nil, err
+			}
 		}
-		out = append(out, p)
+		out = append(out, n)
 	}
 	return out, nil
 }

@@ -125,3 +125,16 @@ func TestFigPlacement(t *testing.T) {
 		t.Fatal("multiple designs must error for -fig placement")
 	}
 }
+
+func TestFigPlacementSearch(t *testing.T) {
+	out := runOK(t, "-fig", "placement", "-batch", "8", "-placers", "mesh,search", "-search-steps", "8")
+	for _, frag := range []string{
+		"Placement comparison",
+		"Search vs best heuristic",
+		"best-heur", "gain",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("placement search output missing %q:\n%s", frag, out)
+		}
+	}
+}

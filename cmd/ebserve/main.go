@@ -73,6 +73,10 @@ type options struct {
 	seed     int64
 	noPrice  bool
 
+	searchSteps int
+	searchSeed  int64
+	searchBatch int
+
 	addr string
 
 	loadgen    bool
@@ -116,6 +120,9 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&o.inferW, "infer-workers", 0, "software backend: per-replica inference pool size (0 = one per CPU)")
 	fs.Int64Var(&o.seed, "seed", 1, "zoo weight-synthesis seed")
 	fs.BoolVar(&o.noPrice, "no-pricing", false, "disable per-batch accelerator pricing")
+	fs.IntVar(&o.searchSteps, "search-steps", compiler.DefaultSearchSteps, "candidate-evaluation budget of -placer search")
+	fs.Int64Var(&o.searchSeed, "search-seed", 1, "search placer RNG seed")
+	fs.IntVar(&o.searchBatch, "search-batch", 0, "batch size of the search objective (0 = -max-batch)")
 	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address (serve mode)")
 	fs.BoolVar(&o.loadgen, "loadgen", false, "run the embedded load generator instead of serving HTTP")
 	fs.StringVar(&o.rates, "rate", "1000,4000,16000", "comma-separated open-loop arrival rates (req/s); 0 entries select the closed loop")
@@ -200,25 +207,38 @@ func runMultiModel(o options, design arch.Design, out io.Writer) error {
 // every model's server (each priced by its co-located pipeline engine).
 func buildRouter(o options, design arch.Design) (*serve.Router, serve.FabricSnapshot, error) {
 	var snap serve.FabricSnapshot
-	placer, err := compiler.ParsePlacer(o.placer)
-	if err != nil {
-		return nil, snap, err
-	}
 	var names []string
 	for _, n := range strings.Split(o.models, ",") {
 		names = append(names, strings.TrimSpace(n))
 	}
 	evalCfg := eval.DefaultConfig()
 	evalCfg.Seed = o.seed
-	cs, es, err := eval.CoLocate(evalCfg, names, design, placer)
-	if err != nil {
-		return nil, snap, err
+	var cs []*compiler.Compiled
+	var es *sim.EngineSet
+	if o.placer == "search" {
+		// Interference-aware co-location: anneal each model's region
+		// against the set's Jain-penalized aggregate throughput.
+		evalCfg.Search = eval.SearchSpec{Steps: o.searchSteps, Seed: o.searchSeed, Batch: o.searchBatch}
+		var err error
+		cs, es, _, err = eval.SearchCoLocate(evalCfg, names, design, o.maxBatch)
+		if err != nil {
+			return nil, snap, err
+		}
+	} else {
+		placer, err := compiler.ParsePlacer(o.placer)
+		if err != nil {
+			return nil, snap, err
+		}
+		cs, es, err = eval.CoLocate(evalCfg, names, design, placer)
+		if err != nil {
+			return nil, snap, err
+		}
 	}
 	sr, err := es.RunSet(o.maxBatch)
 	if err != nil {
 		return nil, snap, err
 	}
-	snap = serve.NewFabricSnapshot(design.String(), placer.Name(), sr)
+	snap = serve.NewFabricSnapshot(design.String(), o.placer, sr)
 	entries := make([]serve.RouterEntry, 0, len(names))
 	for i, name := range names {
 		model, err := bnn.NewModel(name, o.seed)

@@ -141,6 +141,49 @@ func TestMultiModelRouter(t *testing.T) {
 	}
 }
 
+// TestMultiModelRouterSearchPlacer: `-placer search` routes through
+// eval.SearchCoLocate — the fabric snapshot reports the searched
+// layouts and the endpoints serve as usual.
+func TestMultiModelRouterSearchPlacer(t *testing.T) {
+	o := options{
+		models:      "MLP-S, CNN-S",
+		placer:      "search",
+		design:      "eb",
+		backend:     "software",
+		maxBatch:    8,
+		maxWait:     100 * time.Microsecond,
+		workers:     1,
+		seed:        1,
+		searchSteps: 8,
+		searchSeed:  1,
+	}
+	design, err := arch.ParseDesign(o.design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, fabric, err := buildRouter(o, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	defer router.Stop()
+	if len(fabric.Models) != 2 || fabric.Placer != "search" {
+		t.Fatalf("fabric snapshot %+v", fabric)
+	}
+	for _, fm := range fabric.Models {
+		if fm.Region == "" || fm.CoLocatedPerSec <= 0 {
+			t.Fatalf("fabric model %+v", fm)
+		}
+	}
+	h := router.Handler()
+	req := httptest.NewRequest("GET", "/models", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "MLP-S") {
+		t.Fatalf("models endpoint: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
 func TestMultiModelFlagErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-models", "MLP-S", "-loadgen"}, &out); err == nil {

@@ -9,7 +9,9 @@
 //	ebsim -model CNN-M -design tacit -k 8 -cols-per-adc 16
 //	ebsim -model CNN-S -design eb64 -batch 64      # wide-K batch drill-down
 //	ebsim -model CNN-L -placer mesh -batch 64      # locality-aware placement
+//	ebsim -model MLP-L -placer search -batch 256   # annealed, engine-priced layout
 //	ebsim -models MLP-S,CNN-S -placer mesh         # co-locate on one fabric
+//	ebsim -models MLP-S,CNN-S -placer search       # interference-aware co-location
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"einsteinbarrier/internal/compiler"
 	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/energy"
+	"einsteinbarrier/internal/eval"
 	"einsteinbarrier/internal/gpu"
 	"einsteinbarrier/internal/isa"
 	"einsteinbarrier/internal/sim"
@@ -50,13 +53,23 @@ func run(args []string, out io.Writer) error {
 	colsPerADC := fs.Int("cols-per-adc", 0, "override ADC sharing factor")
 	dumpProgram := fs.Bool("program", false, "print the compiled ISA stream")
 	batch := fs.Int("batch", 32, "batch size for the pipeline drill-down")
+	searchSteps := fs.Int("search-steps", compiler.DefaultSearchSteps, "candidate-evaluation budget of -placer search")
+	searchSeed := fs.Int64("search-seed", 1, "search placer RNG seed")
+	searchBatch := fs.Int("search-batch", 0, "batch size of the search objective (0 = -batch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	placer, err := compiler.ParsePlacer(*placerName)
-	if err != nil {
-		return err
+	// "search" is model-bound (it compiles and prices candidates itself),
+	// so it is constructed after the model and design are known; the
+	// heuristics parse here.
+	var placer compiler.Placer
+	if *placerName != "search" {
+		var err error
+		placer, err = compiler.ParsePlacer(*placerName)
+		if err != nil {
+			return err
+		}
 	}
 	cfg := arch.DefaultConfig()
 	if *k > 0 {
@@ -65,9 +78,14 @@ func run(args []string, out io.Writer) error {
 	if *colsPerADC > 0 {
 		cfg.ColumnsPerADC = *colsPerADC
 	}
+	search := eval.SearchSpec{Steps: *searchSteps, Seed: *searchSeed, Batch: *searchBatch}
 
 	if *models != "" {
-		return runCoLocation(out, strings.Split(*models, ","), *design, placer, cfg, *seed, *batch)
+		names := strings.Split(*models, ",")
+		if placer == nil {
+			return runSearchCoLocation(out, names, *design, cfg, *seed, *batch, search)
+		}
+		return runCoLocation(out, names, *design, placer, cfg, *seed, *batch)
 	}
 
 	m, err := bnn.NewModel(*model, *seed)
@@ -92,6 +110,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	s, err := sim.New(cfg, energy.DefaultCostParams())
+	if err != nil {
+		return err
+	}
+	var sp *compiler.SearchPlacer
+	if placer == nil {
+		sb := search.Batch
+		if sb == 0 {
+			sb = *batch
+		}
+		pe, err := s.PlacementEvaluator(sb)
+		if err != nil {
+			return err
+		}
+		sp, err = compiler.NewSearchPlacer(m, cfg, d, pe, compiler.SearchOptions{Steps: search.Steps, Seed: search.Seed})
+		if err != nil {
+			return err
+		}
+		placer = sp
+	}
 	c, err := compiler.CompileWith(m, cfg, d, compiler.Options{Placer: placer})
 	if err != nil {
 		return err
@@ -114,10 +152,6 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	s, err := sim.New(cfg, energy.DefaultCostParams())
-	if err != nil {
-		return err
-	}
 	eng, err := s.NewEngine(c)
 	if err != nil {
 		return err
@@ -132,6 +166,15 @@ func run(args []string, out io.Writer) error {
 	hops, chipHops := sendHops(c)
 	fmt.Fprintf(out, "  placement:            %s, %d layer spans over %d tiles, %d total hops, %d chip hops\n",
 		c.Placement.Placer, len(c.Placement.Layers), c.Placement.TotalTiles(spec.EffectiveArch(cfg)), hops, chipHops)
+	if sp != nil {
+		st := sp.Stats()
+		improved := "matched the best heuristic"
+		if st.Improved {
+			improved = "beat the heuristics"
+		}
+		fmt.Fprintf(out, "  search:               %d evals over %d rounds, %d accepted; best from %s (%s), objective %.0f inf/s\n",
+			st.Steps, st.Rounds, st.Accepted, st.BestFrom, improved, st.BestScore)
+	}
 	if lc, err := sim.WeightLoadCost(c, cfg); err == nil {
 		fmt.Fprintf(out, "  weight load (once):   %.2f us, %.2f uJ for %d writes\n",
 			lc.LatencyNs/1e3, lc.EnergyPJ/1e6, lc.Writes)
@@ -254,5 +297,52 @@ func runCoLocation(out io.Writer, names []string, designName string, placer comp
 	}
 	fmt.Fprintf(out, "  fabric: %.0f inf/s aggregate, fairness %.4f (Jain), interference wait %.2f us, makespan %.2f us\n",
 		r.AggregatePerSec, r.FairnessJain, r.InterferenceWaitNs/1e3, r.MakespanNs/1e3)
+	return nil
+}
+
+// runSearchCoLocation is runCoLocation's interference-aware sibling:
+// eval.SearchCoLocate carves the fabric with the shard placer, then
+// anneals each model's region against the WHOLE set's Jain-penalized
+// aggregate throughput (sim.SetEvaluator).
+func runSearchCoLocation(out io.Writer, names []string, designName string, cfg arch.Config, seed int64, batch int, search eval.SearchSpec) error {
+	d, err := arch.ParseDesign(designName)
+	if err != nil {
+		return err
+	}
+	spec, err := d.Spec()
+	if err != nil {
+		return err
+	}
+	ecfg := spec.EffectiveArch(cfg)
+	evalCfg := eval.DefaultConfig()
+	evalCfg.Arch = cfg
+	evalCfg.Seed = seed
+	evalCfg.Search = search
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	cs, es, trace, err := eval.SearchCoLocate(evalCfg, names, d, batch)
+	if err != nil {
+		return err
+	}
+	r, err := es.RunSet(batch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "co-location of %d models on %v (placer search, batch %d)\n", len(cs), d, batch)
+	fmt.Fprintf(out, "  %-8s %-18s %6s %12s %12s %10s %14s\n",
+		"model", "region", "tiles", "iso inf/s", "co inf/s", "slowdown", "link wait us")
+	for i, mr := range r.Models {
+		fmt.Fprintf(out, "  %-8s %-18s %6d %12.0f %12.0f %9.4fx %14.2f\n",
+			mr.ModelName, mr.Region.String(), cs[i].Placement.TotalTiles(ecfg),
+			mr.IsolatedPerSec, mr.ThroughputPerSec, mr.SlowdownX, mr.LinkWaitNs/1e3)
+	}
+	fmt.Fprintf(out, "  fabric: %.0f inf/s aggregate, fairness %.4f (Jain), interference wait %.2f us, makespan %.2f us\n",
+		r.AggregatePerSec, r.FairnessJain, r.InterferenceWaitNs/1e3, r.MakespanNs/1e3)
+	for _, ms := range trace {
+		st := ms.Stats
+		fmt.Fprintf(out, "  search %-8s %d evals, %d accepted, best from %s, set objective %.0f\n",
+			ms.Model, st.Steps, st.Accepted, st.BestFrom, st.BestScore)
+	}
 	return nil
 }

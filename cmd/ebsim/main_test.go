@@ -101,3 +101,31 @@ func TestCoLocationDrillDown(t *testing.T) {
 		t.Fatal("unknown co-located model must error")
 	}
 }
+
+func TestSearchPlacerDrillDown(t *testing.T) {
+	out := runOK(t, "-model", "MLP-S", "-placer", "search", "-batch", "8", "-search-steps", "8")
+	for _, frag := range []string{
+		"placement:",
+		"search:",
+		"best from",
+		"objective",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("search drill-down missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSearchCoLocationDrillDown(t *testing.T) {
+	out := runOK(t, "-models", "MLP-S,CNN-S", "-placer", "search", "-batch", "8", "-search-steps", "8")
+	for _, frag := range []string{
+		"co-location of 2 models",
+		"placer search",
+		"set objective",
+		"fairness",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("search co-location missing %q:\n%s", frag, out)
+		}
+	}
+}

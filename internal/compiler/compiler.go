@@ -76,112 +76,16 @@ func Compile(model *bnn.Model, cfg arch.Config, design arch.Design) (*Compiled, 
 // sharded layers additionally gain inter-chip gather SENDs. The greedy
 // placer keeps the allocator's average-hop estimate, so its programs
 // are bit-identical to Compile's.
+//
+// CompileWith is Lower + Lowered.Compile: callers that compile one
+// model under many placements (the search placer) hoist the lowering
+// prefix with Lower and pay only the assembly per placement.
 func CompileWith(model *bnn.Model, cfg arch.Config, design arch.Design, opts Options) (*Compiled, error) {
-	spec, err := design.Spec()
+	lw, err := Lower(model, cfg, design)
 	if err != nil {
-		return nil, fmt.Errorf("compiler: %w", err)
-	}
-	cfg = spec.EffectiveArch(cfg)
-	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	placer := opts.Placer
-	if placer == nil {
-		placer = GreedyPlacer{}
-	}
-	region := FullFabric(cfg)
-	if opts.Region != nil {
-		region = *opts.Region
-	}
-	if err := region.Validate(cfg); err != nil {
-		return nil, err
-	}
-	mesh := noc.DefaultConfig(cfg.MeshWidth())
-	avgHops := int(mesh.AverageHops() + 0.5)
-	k := cfg.EffectiveK(design)
-
-	c := &Compiled{ModelName: model.Name(), Design: design}
-	next := 0 // next free flat VCore index
-
-	alloc := func(n int) int {
-		first := next
-		next += n
-		return first
-	}
-
-	// Lower every layer, keeping per-layer instruction slices so the
-	// placement pass can rewrite each VCore-owning layer's transfers
-	// before assembly.
-	var layerProgs []isa.Program
-	var demands []LayerDemand
-	for _, lc := range model.Costs() {
-		la := LayerAlloc{Name: lc.Name, Kind: lc.Kind}
-		var ins isa.Program
-		switch lc.Kind {
-		case "binary":
-			ins, la, err = lowerBinary(lc, cfg, spec, k, avgHops)
-			if err != nil {
-				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
-			}
-			la.FirstVCore = alloc(la.VCores)
-			c.WeightWrites += int64(2 * lc.Work.N * lc.Work.M)
-		case "fp":
-			ins, la, err = lowerFP(lc, cfg, spec, k, avgHops)
-			if err != nil {
-				return nil, fmt.Errorf("compiler: %s/%s: %w", model.Name(), lc.Name, err)
-			}
-			la.FirstVCore = alloc(la.VCores)
-			// Multi-bit weights: one cell per stored slice — InputBits
-			// slices on binary cells, fewer on multi-level cells.
-			c.WeightWrites += lc.MACs * int64(weightSlices(cfg, spec))
-		case "shape":
-			// Reshapes, pooling and binarization fuse into the producing
-			// layer's output path (OR-pooling and sign are single gates
-			// behind the threshold units) — no instructions, no traffic.
-			c.Allocs = append(c.Allocs, la)
-			continue
-		default:
-			return nil, fmt.Errorf("compiler: unknown layer kind %q", lc.Kind)
-		}
-		layerProgs = append(layerProgs, append(ins, isa.Instruction{Op: isa.OpSync, Comment: lc.Name}))
-		c.Allocs = append(c.Allocs, la)
-		demands = append(demands, demandOf(lc, la.VCores))
-	}
-	pl, err := placer.Place(demands, cfg, region)
-	if err != nil {
-		return nil, fmt.Errorf("compiler: %s: %w", model.Name(), err)
-	}
-	if err := pl.Validate(cfg); err != nil {
-		return nil, err
-	}
-	if len(pl.Layers) != len(layerProgs) {
-		return nil, fmt.Errorf("compiler: placer %s placed %d layers, model has %d", placer.Name(), len(pl.Layers), len(layerProgs))
-	}
-	if pl.Exact {
-		if err := applyPlacement(layerProgs, demands, pl, cfg, mesh); err != nil {
-			return nil, err
-		}
-	}
-
-	var prog isa.Program
-	for _, lp := range layerProgs {
-		prog = append(prog, lp...)
-	}
-	prog = append(prog, isa.Instruction{Op: isa.OpHalt})
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
-	if next > cfg.TotalVCores() {
-		return nil, fmt.Errorf("compiler: %s needs %d VCores, architecture has %d",
-			model.Name(), next, cfg.TotalVCores())
-	}
-	c.Program = prog
-	c.VCoresUsed = next
-	c.Placement = pl
-	return c, nil
+	return lw.Compile(opts)
 }
 
 // demandOf sizes one VCore-owning layer for the placer: the output

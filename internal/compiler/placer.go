@@ -208,6 +208,39 @@ func (p *Placement) TotalTiles(cfg arch.Config) int {
 	return len(seen)
 }
 
+// Fingerprint returns the canonical cache key of the layout: region,
+// exactness, and every layer's shard assignment (chip, VCores, tiles)
+// in program order. Two placements with equal fingerprints compile to
+// identical programs for the same Lowered model, so engine-priced
+// evaluations can be memoized on it (sim.PlacementEvaluator — the
+// serve.Pricer batch-size memoization pattern generalized to layouts).
+// The placer name is deliberately excluded: a mesh layout replayed by
+// the search placer is the same physical layout.
+func (p *Placement) Fingerprint() string {
+	var sb strings.Builder
+	r := p.Region
+	fmt.Fprintf(&sb, "r%d+%d:%d,%d,%dx%d", r.Chip, r.Chips, r.X0, r.Y0, r.W, r.H)
+	if p.Exact {
+		sb.WriteByte('!')
+	}
+	for _, lp := range p.Layers {
+		sb.WriteByte('|')
+		for si, sh := range lp.Shards {
+			if si > 0 {
+				sb.WriteByte('+')
+			}
+			fmt.Fprintf(&sb, "n%d@%d:", sh.Chip, sh.VCores)
+			for ti, t := range sh.Tiles {
+				if ti > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", t)
+			}
+		}
+	}
+	return sb.String()
+}
+
 // String renders one line per layer.
 func (p *Placement) String() string {
 	var sb strings.Builder
@@ -248,7 +281,10 @@ type Placer interface {
 	Place(layers []LayerDemand, cfg arch.Config, region Region) (*Placement, error)
 }
 
-// ParsePlacer resolves a CLI name.
+// ParsePlacer resolves a CLI name. The search placer cannot be built
+// from a bare name — it is bound to one model and an engine-backed
+// evaluator — so "search" gets a pointer to NewSearchPlacer instead of
+// the generic unknown-placer error.
 func ParsePlacer(name string) (Placer, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "greedy":
@@ -257,12 +293,19 @@ func ParsePlacer(name string) (Placer, error) {
 		return MeshPlacer{}, nil
 	case "shard":
 		return ShardPlacer{}, nil
+	case "search":
+		return nil, fmt.Errorf("compiler: the search placer is model-bound — construct it with NewSearchPlacer and an engine evaluator (the CLIs wire -placer search through eval/sim)")
 	}
 	return nil, fmt.Errorf("compiler: unknown placer %q (have %s)", name, strings.Join(PlacerNames, ", "))
 }
 
-// PlacerNames lists the built-in placers.
-var PlacerNames = []string{"greedy", "mesh", "shard"}
+// PlacerNames lists the built-in placers (heuristics plus the
+// annealing search placer, which needs NewSearchPlacer).
+var PlacerNames = []string{"greedy", "mesh", "shard", "search"}
+
+// HeuristicPlacerNames lists the one-shot placers ParsePlacer can build
+// from a bare name — the search placer's warm starts.
+var HeuristicPlacerNames = []string{"greedy", "mesh", "shard"}
 
 // vcoresPerTileOf returns the VCore capacity of one tile.
 func vcoresPerTileOf(cfg arch.Config) int { return cfg.ECoresPerTile * cfg.VCoresPerECore }

@@ -290,7 +290,7 @@ func TestRegionRelativeRoundTrip(t *testing.T) {
 }
 
 func TestParsePlacer(t *testing.T) {
-	for _, name := range PlacerNames {
+	for _, name := range HeuristicPlacerNames {
 		p, err := ParsePlacer(name)
 		if err != nil {
 			t.Fatal(err)
@@ -302,7 +302,20 @@ func TestParsePlacer(t *testing.T) {
 	if p, err := ParsePlacer(""); err != nil || p.Name() != "greedy" {
 		t.Fatalf("empty placer should default to greedy, got %v/%v", p, err)
 	}
-	if _, err := ParsePlacer("nope"); err == nil {
+	// The search placer is model-bound: the name is reserved and the
+	// error points the caller at NewSearchPlacer instead of the generic
+	// unknown-placer message.
+	if _, err := ParsePlacer("search"); err == nil || !strings.Contains(err.Error(), "NewSearchPlacer") {
+		t.Fatalf("ParsePlacer(search) = %v, want a NewSearchPlacer pointer", err)
+	}
+	// Unknown names list every valid placer so callers can self-correct.
+	_, err := ParsePlacer("nope")
+	if err == nil {
 		t.Fatal("unknown placer must error")
+	}
+	for _, name := range PlacerNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-placer error %q does not list %q", err, name)
+		}
 	}
 }

@@ -1,0 +1,247 @@
+package compiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/isa"
+)
+
+// hopEvaluator is a sim-free stand-in objective for the search tests:
+// fewer SEND hops score higher (compactness), with a small bonus for
+// disjoint footprints. Pure and stateless, so it is trivially
+// deterministic and concurrency-safe — the properties the Evaluator
+// contract demands.
+type hopEvaluator struct{}
+
+func (hopEvaluator) Score(c *Compiled) (float64, error) {
+	hops := 0
+	for _, in := range c.Program {
+		if in.Op == isa.OpSend {
+			hops += in.Hops + 4*in.ChipHops
+		}
+	}
+	return 1000 - float64(hops), nil
+}
+
+// errEvaluator fails on every candidate — evaluator errors must abort
+// the search, not be silently treated as infeasible layouts.
+type errEvaluator struct{}
+
+func (errEvaluator) Score(*Compiled) (float64, error) {
+	return 0, errTestEvaluator
+}
+
+var errTestEvaluator = &testError{"evaluator exploded"}
+
+type testError struct{ s string }
+
+func (e *testError) Error() string { return e.s }
+
+func TestNewSearchPlacerValidation(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "MLP-S")
+	if _, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, nil, SearchOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "evaluator") {
+		t.Fatalf("nil evaluator: %v", err)
+	}
+	if _, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, hopEvaluator{}, SearchOptions{Steps: -1}); err == nil {
+		t.Fatal("negative steps must error")
+	}
+	sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, hopEvaluator{}, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name() != "search" || !sp.Exact() {
+		t.Fatalf("Name/Exact = %q/%v", sp.Name(), sp.Exact())
+	}
+	// The placer is model-bound: compiling a different model through it
+	// must be rejected, not silently misplace.
+	other := mustModel(t, "CNN-L")
+	if _, err := CompileWith(other, cfg, arch.EinsteinBarrier, Options{Placer: sp}); err == nil {
+		t.Fatal("search placer bound to MLP-S must reject CNN-L")
+	}
+}
+
+func TestSearchPlacerEvaluatorErrorsPropagate(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "MLP-S")
+	sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, errEvaluator{}, SearchOptions{Steps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: sp}); err == nil ||
+		!strings.Contains(err.Error(), "evaluator exploded") {
+		t.Fatalf("evaluator error not propagated: %v", err)
+	}
+}
+
+// TestSearchPlacerDeterminism: the searched placement is a pure
+// function of (model, config, design, seed, steps) — identical
+// fingerprints across repeated runs AND across worker counts.
+func TestSearchPlacerDeterminism(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	for _, name := range []string{"MLP-S", "CNN-L"} {
+		m := mustModel(t, name)
+		var want string
+		for run, workers := range []int{1, 1, 4, 3} {
+			sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, hopEvaluator{}, SearchOptions{
+				Steps: 48, Seed: 7, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: sp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := c.Placement.Fingerprint()
+			if run == 0 {
+				want = fp
+				continue
+			}
+			if fp != want {
+				t.Fatalf("%s run %d (workers=%d): fingerprint drifted\n got: %s\nwant: %s",
+					name, run, workers, fp, want)
+			}
+		}
+	}
+}
+
+// TestSearchPlacerSeedMatters: different seeds may legitimately explore
+// different walks; the stats must reflect a real search either way.
+func TestSearchPlacerStats(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "MLP-L")
+	sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, hopEvaluator{}, SearchOptions{Steps: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sp.Stats()
+	if len(st.WarmStarts) != 3 {
+		t.Fatalf("%d warm starts", len(st.WarmStarts))
+	}
+	if st.Rounds != 10 || st.Steps < 40 {
+		t.Fatalf("rounds=%d steps=%d for a 40-step budget", st.Rounds, st.Steps)
+	}
+	if st.BestFrom == "" || math.IsInf(st.BestScore, -1) {
+		t.Fatalf("no best recorded: %+v", st)
+	}
+	if c.Placement.Placer != "search" {
+		t.Fatalf("returned placer label %q", c.Placement.Placer)
+	}
+}
+
+// TestSearchPlacerWarmStartFloor: search ≥ every heuristic under the
+// SAME objective, by construction — the best layout ever evaluated
+// (warm starts included) is what Place returns.
+func TestSearchPlacerWarmStartFloor(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	ev := hopEvaluator{}
+	for _, name := range []string{"CNN-S", "MLP-L"} {
+		m := mustModel(t, name)
+		sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, ev, SearchOptions{Steps: 32, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ev.Score(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hp := range []Placer{GreedyPlacer{}, MeshPlacer{}, ShardPlacer{}} {
+			hc, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: hp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs, err := ev.Score(hc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < hs {
+				t.Fatalf("%s: search %.1f below %s %.1f", name, got, hp.Name(), hs)
+			}
+		}
+		st := sp.Stats()
+		if st.BestScore != got {
+			t.Fatalf("%s: stats best %.1f, recompiled %.1f", name, st.BestScore, got)
+		}
+	}
+}
+
+// TestSearchPlacerShardedWarmStart: on a fabric where layers must split
+// across chips, the multi-shard layers are carried fixed and the search
+// still returns a valid, scored placement.
+func TestSearchPlacerShardedWarmStart(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.TilesPerNode = 4
+	cfg.Nodes = 8
+	m := mustModel(t, "MLP-L")
+	sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, hopEvaluator{}, SearchOptions{Steps: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := 0
+	for _, lp := range c.Placement.Layers {
+		if len(lp.Shards) > 1 {
+			sharded++
+		}
+	}
+	if sharded == 0 {
+		t.Fatal("expected sharded layers to survive the search")
+	}
+	if err := c.Placement.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementFingerprint: the fingerprint is the cache-key contract —
+// region, exactness and per-layer shards in program order; the placer
+// NAME is excluded (two placers proposing the same layout must share a
+// cache entry).
+func TestPlacementFingerprint(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "CNN-S")
+	a, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: MeshPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: MeshPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Placement.Fingerprint() != b.Placement.Fingerprint() {
+		t.Fatal("identical compiles produce different fingerprints")
+	}
+	relabeled := *a.Placement
+	relabeled.Placer = "renamed"
+	if relabeled.Fingerprint() != a.Placement.Fingerprint() {
+		t.Fatal("fingerprint must not depend on the placer name")
+	}
+	g, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: GreedyPlacer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Placement.Fingerprint() == a.Placement.Fingerprint() {
+		t.Fatal("different layouts share a fingerprint")
+	}
+	if !strings.Contains(a.Placement.Fingerprint(), "!") {
+		t.Fatal("exact placements must be marked in the fingerprint")
+	}
+	if strings.Contains(g.Placement.Fingerprint(), "!") {
+		t.Fatal("inexact placements must not carry the exact marker")
+	}
+}

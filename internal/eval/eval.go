@@ -42,6 +42,23 @@ type Config struct {
 	// registered design may ride along and lands in
 	// NetworkResult.Results.
 	Designs []arch.Design
+	// Search parameterizes the annealing placer wherever a placement
+	// experiment names "search" (ComparePlacements, SearchCoLocate).
+	Search SearchSpec
+}
+
+// SearchSpec configures the search placer's budget and objective.
+type SearchSpec struct {
+	// Steps is the candidate-evaluation budget
+	// (0 = compiler.DefaultSearchSteps).
+	Steps int
+	// Seed seeds the search RNG streams (0 = 1). Co-location search
+	// offsets it per model.
+	Seed int64
+	// Batch is the objective's batch size — candidates are accepted on
+	// Engine.RunBatch(Batch) throughput. 0 means the experiment's own
+	// batch size.
+	Batch int
 }
 
 // designs returns the evaluated design set.

@@ -22,13 +22,14 @@ import (
 // throughput, ceiling and NoC stall time. This is where the placement
 // IR's trade-off is visible in one screen: greedy packs densest,
 // mesh pipelines ~2× faster and stalls least, shard is the only one
-// that survives chip-splitting.
+// that survives chip-splitting — and "search" anneals past all three,
+// accepted on the same engine-measured inf/s the table reports.
 
 // PlacementRow is one network × placer measurement.
 type PlacementRow struct {
-	Network string       `json:"network"`
-	Placer  string       `json:"placer"`
-	Design  arch.Design  `json:"-"`
+	Network string      `json:"network"`
+	Placer  string      `json:"placer"`
+	Design  arch.Design `json:"-"`
 	// Tiles is the distinct tile count of the layout; VCores the logical
 	// allocation (placer-independent).
 	Tiles  int `json:"tiles"`
@@ -45,18 +46,25 @@ type PlacementRow struct {
 	SteadyStatePerSec float64 `json:"steady_state_per_sec"`
 	LinkWaitNs        float64 `json:"link_wait_ns"`
 	Bottleneck        string  `json:"bottleneck"`
+	// Search carries the annealing trace when Placer == "search".
+	Search *compiler.SearchStats `json:"search,omitempty"`
 }
 
 // ComparePlacements runs every zoo network named in networks (nil means
-// all) under every placer, on one design, and reports the table rows.
-// Jobs fan out over cfg.Workers; the result is deterministic at any
-// worker count.
-func ComparePlacements(cfg Config, networks []string, placers []compiler.Placer, d arch.Design, batch int) ([]PlacementRow, error) {
+// all) under every placer named in placers (nil means all registered
+// names, search included), on one design, and reports the table rows.
+// Heuristic names resolve through compiler.ParsePlacer; "search" builds
+// a per-network SearchPlacer whose objective is Engine.RunBatch
+// throughput at cfg.Search.Batch (0 = the table's batch), sharing one
+// fingerprint-keyed evaluation cache across networks. Jobs fan out over
+// cfg.Workers (the search itself then runs serial candidates inside its
+// job); the result is deterministic at any worker count.
+func ComparePlacements(cfg Config, networks []string, placers []string, d arch.Design, batch int) ([]PlacementRow, error) {
 	if len(networks) == 0 {
 		networks = bnn.ZooNames
 	}
 	if len(placers) == 0 {
-		placers = []compiler.Placer{compiler.GreedyPlacer{}, compiler.MeshPlacer{}, compiler.ShardPlacer{}}
+		placers = compiler.PlacerNames
 	}
 	if batch < 1 {
 		return nil, fmt.Errorf("eval: batch %d must be ≥ 1", batch)
@@ -72,17 +80,57 @@ func ComparePlacements(cfg Config, networks []string, placers []compiler.Placer,
 	if err != nil {
 		return nil, err
 	}
+	// Resolve placer names up front; "search" shares one evaluation
+	// cache (keyed by model/design/fingerprint) across every network.
+	heuristics := make([]compiler.Placer, len(placers))
+	var pe *sim.PlacementEvaluator
+	for i, pname := range placers {
+		if pname == "search" {
+			if pe == nil {
+				sb := cfg.Search.Batch
+				if sb == 0 {
+					sb = batch
+				}
+				pe, err = simulator.PlacementEvaluator(sb)
+				if err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		heuristics[i], err = compiler.ParsePlacer(pname)
+		if err != nil {
+			return nil, err
+		}
+	}
 	np := len(placers)
 	return infer.Map(cfg.Workers, len(networks)*np, func(_, j int) (PlacementRow, error) {
-		name, placer := networks[j/np], placers[j%np]
-		row := PlacementRow{Network: name, Placer: placer.Name(), Design: d, Batch: batch}
+		name, pname := networks[j/np], placers[j%np]
+		row := PlacementRow{Network: name, Placer: pname, Design: d, Batch: batch}
 		m, err := bnn.NewModel(name, cfg.Seed)
 		if err != nil {
 			return row, err
 		}
+		placer := heuristics[j%np]
+		var sp *compiler.SearchPlacer
+		if placer == nil {
+			// The outer Map already saturates the pool; the nested
+			// search evaluates its candidates serially.
+			sp, err = compiler.NewSearchPlacer(m, cfg.Arch, d, pe, compiler.SearchOptions{
+				Steps: cfg.Search.Steps, Seed: cfg.Search.Seed, Workers: 1,
+			})
+			if err != nil {
+				return row, fmt.Errorf("eval: %s/%s: %w", name, pname, err)
+			}
+			placer = sp
+		}
 		c, err := compiler.CompileWith(m, cfg.Arch, d, compiler.Options{Placer: placer})
 		if err != nil {
-			return row, fmt.Errorf("eval: %s/%s: %w", name, placer.Name(), err)
+			return row, fmt.Errorf("eval: %s/%s: %w", name, pname, err)
+		}
+		if sp != nil {
+			st := sp.Stats()
+			row.Search = &st
 		}
 		row.VCores = c.VCoresUsed
 		row.Tiles = c.Placement.TotalTiles(ecfg)
@@ -147,6 +195,73 @@ func WritePlacementCSV(w io.Writer, rows []PlacementRow) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// PlacementWin summarizes one network's beats-or-matches outcome: the
+// search placer's throughput against the best heuristic in the same
+// table.
+type PlacementWin struct {
+	Network         string  `json:"network"`
+	Design          string  `json:"design"`
+	Batch           int     `json:"batch"`
+	BestHeuristic   string  `json:"best_heuristic"`
+	HeuristicPerSec float64 `json:"heuristic_inferences_per_sec"`
+	SearchPerSec    float64 `json:"search_inferences_per_sec"`
+	// GainX is search/heuristic (≥ 1 by the warm-start construction).
+	GainX float64 `json:"gain_x"`
+}
+
+// PlacementWins distills a comparison into the beats-or-matches table:
+// one row per network that has both a search row and at least one
+// heuristic row. Networks keep their first-appearance order.
+func PlacementWins(rows []PlacementRow) []PlacementWin {
+	type acc struct {
+		win  PlacementWin
+		hasH bool
+		hasS bool
+	}
+	var order []string
+	by := map[string]*acc{}
+	for _, r := range rows {
+		a, ok := by[r.Network]
+		if !ok {
+			a = &acc{win: PlacementWin{Network: r.Network, Design: r.Design.String(), Batch: r.Batch}}
+			by[r.Network] = a
+			order = append(order, r.Network)
+		}
+		if r.Placer == "search" {
+			a.hasS = true
+			a.win.SearchPerSec = r.ThroughputPerSec
+		} else if !a.hasH || r.ThroughputPerSec > a.win.HeuristicPerSec {
+			a.hasH = true
+			a.win.BestHeuristic = r.Placer
+			a.win.HeuristicPerSec = r.ThroughputPerSec
+		}
+	}
+	var out []PlacementWin
+	for _, n := range order {
+		a := by[n]
+		if !a.hasH || !a.hasS {
+			continue
+		}
+		a.win.GainX = a.win.SearchPerSec / a.win.HeuristicPerSec
+		out = append(out, a.win)
+	}
+	return out
+}
+
+// WinsTable renders the beats-or-matches summary.
+func WinsTable(wins []PlacementWin) string {
+	var sb strings.Builder
+	if len(wins) > 0 {
+		fmt.Fprintf(&sb, "Search vs best heuristic on %s (B=%d)\n", wins[0].Design, wins[0].Batch)
+	}
+	fmt.Fprintf(&sb, "%-8s %-10s %14s %14s %7s\n", "network", "best-heur", "heur inf/s", "search inf/s", "gain")
+	for _, w := range wins {
+		fmt.Fprintf(&sb, "%-8s %-10s %14.0f %14.0f %6.3fx\n",
+			w.Network, w.BestHeuristic, w.HeuristicPerSec, w.SearchPerSec, w.GainX)
+	}
+	return sb.String()
 }
 
 // CoLocate compiles several zoo models onto one shared fabric with

@@ -13,7 +13,7 @@ import (
 func TestComparePlacementsTableAndDeterminism(t *testing.T) {
 	cfg := DefaultConfig()
 	networks := []string{"CNN-S", "CNN-L"}
-	placers := []compiler.Placer{compiler.GreedyPlacer{}, compiler.MeshPlacer{}}
+	placers := []string{"greedy", "mesh"}
 	rows, err := ComparePlacements(cfg, networks, placers, arch.EinsteinBarrier, 64)
 	if err != nil {
 		t.Fatal(err)
@@ -74,6 +74,9 @@ func TestComparePlacementsRejectsBadInput(t *testing.T) {
 	}
 	if _, err := ComparePlacements(cfg, nil, nil, arch.Design(99), 1); err == nil {
 		t.Fatal("unknown design must error")
+	}
+	if _, err := ComparePlacements(cfg, nil, []string{"nope"}, arch.EinsteinBarrier, 1); err == nil {
+		t.Fatal("unknown placer must error")
 	}
 }
 

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"einsteinbarrier/internal/compiler"
+)
+
+// Engine-backed placement evaluators: the objective functions behind
+// compiler.SearchPlacer. Both price candidates with the pipeline engine
+// itself — RunBatch for a single model, RunSet for a co-located set —
+// and memoize on the placement's canonical fingerprint, generalizing
+// serve.Pricer's batch-size memoization to layouts. Neighborhood moves
+// revisit layouts constantly (a border shift clamps back to the
+// incumbent, annealing walks retrace themselves), so the cache is what
+// makes engine-in-the-loop search affordable; BenchmarkPlacerSearch
+// pins the hit rate.
+
+// PlacementEvaluator scores one model's candidate placements by batch
+// throughput. Safe for concurrent use; concurrent misses on the same
+// key both compute (deterministically identical) results and the last
+// insert wins.
+type PlacementEvaluator struct {
+	s     *Simulator
+	batch int
+
+	mu      sync.Mutex
+	memo    map[string]*BatchResult
+	lookups int64
+	hits    int64
+}
+
+// PlacementEvaluator builds an evaluator that prices candidates with
+// Engine.RunBatch at the given batch size.
+func (s *Simulator) PlacementEvaluator(batch int) (*PlacementEvaluator, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("sim: evaluator batch %d must be ≥ 1", batch)
+	}
+	return &PlacementEvaluator{s: s, batch: batch, memo: map[string]*BatchResult{}}, nil
+}
+
+// Batch returns the objective batch size.
+func (pe *PlacementEvaluator) Batch() int { return pe.batch }
+
+// Score implements compiler.Evaluator: measured inf/s of the candidate
+// at the evaluator's batch size.
+func (pe *PlacementEvaluator) Score(c *compiler.Compiled) (float64, error) {
+	br, err := pe.Result(c)
+	if err != nil {
+		return 0, err
+	}
+	return br.ThroughputPerSec, nil
+}
+
+// Result returns the full BatchResult of a candidate, from the cache
+// when its placement fingerprint was priced before. Callers must treat
+// the result as read-only — it is shared across cache hits.
+func (pe *PlacementEvaluator) Result(c *compiler.Compiled) (*BatchResult, error) {
+	if c.Placement == nil {
+		return nil, fmt.Errorf("sim: compiled %s has no placement to fingerprint", c.ModelName)
+	}
+	key := c.ModelName + "/" + c.Design.String() + "/" + c.Placement.Fingerprint()
+	pe.mu.Lock()
+	pe.lookups++
+	if br, ok := pe.memo[key]; ok {
+		pe.hits++
+		pe.mu.Unlock()
+		return br, nil
+	}
+	pe.mu.Unlock()
+	eng, err := pe.s.NewEngine(c)
+	if err != nil {
+		return nil, err
+	}
+	br, err := eng.RunBatch(pe.batch)
+	if err != nil {
+		return nil, err
+	}
+	pe.mu.Lock()
+	pe.memo[key] = br
+	pe.mu.Unlock()
+	return br, nil
+}
+
+// Stats returns the cache counters: total lookups and hits.
+func (pe *PlacementEvaluator) Stats() (lookups, hits int64) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	return pe.lookups, pe.hits
+}
+
+// HitRate is hits/lookups (0 before the first lookup).
+func (pe *PlacementEvaluator) HitRate() float64 {
+	l, h := pe.Stats()
+	if l == 0 {
+		return 0
+	}
+	return float64(h) / float64(l)
+}
+
+// SetEvaluator scores candidate placements of ONE model of a co-located
+// set by the whole fabric's interference-aware objective: the set's
+// aggregate throughput penalized by Jain fairness (AggregatePerSec ×
+// FairnessJain), so a layout that speeds its own model up by starving a
+// neighbor's NoC paths does not win. The other models' compilations are
+// fixed for the evaluator's lifetime; co-location search runs one
+// evaluator per model (coordinate descent, eval.SearchCoLocate).
+type SetEvaluator struct {
+	s     *Simulator
+	set   []*compiler.Compiled
+	idx   int
+	batch int
+
+	mu      sync.Mutex
+	memo    map[string]float64
+	lookups int64
+	hits    int64
+}
+
+// SetEvaluator builds the co-location objective for slot idx of the
+// set. The set slice is captured by copy; candidates replace slot idx.
+func (s *Simulator) SetEvaluator(set []*compiler.Compiled, idx, batch int) (*SetEvaluator, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("sim: set evaluator needs a non-empty set")
+	}
+	if idx < 0 || idx >= len(set) {
+		return nil, fmt.Errorf("sim: set evaluator slot %d outside set of %d", idx, len(set))
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("sim: evaluator batch %d must be ≥ 1", batch)
+	}
+	cp := make([]*compiler.Compiled, len(set))
+	copy(cp, set)
+	return &SetEvaluator{s: s, set: cp, idx: idx, batch: batch, memo: map[string]float64{}}, nil
+}
+
+// Score implements compiler.Evaluator: AggregatePerSec × FairnessJain
+// of the set with the candidate in its slot.
+func (se *SetEvaluator) Score(c *compiler.Compiled) (float64, error) {
+	if c.Placement == nil {
+		return 0, fmt.Errorf("sim: compiled %s has no placement to fingerprint", c.ModelName)
+	}
+	// The other slots are fixed, so the candidate's fingerprint alone
+	// keys the memo.
+	key := c.Placement.Fingerprint()
+	se.mu.Lock()
+	se.lookups++
+	if v, ok := se.memo[key]; ok {
+		se.hits++
+		se.mu.Unlock()
+		return v, nil
+	}
+	se.mu.Unlock()
+	cand := make([]*compiler.Compiled, len(se.set))
+	copy(cand, se.set)
+	cand[se.idx] = c
+	es, err := se.s.NewEngineSet(cand)
+	if err != nil {
+		return 0, err
+	}
+	sr, err := es.RunSet(se.batch)
+	if err != nil {
+		return 0, err
+	}
+	v := sr.AggregatePerSec * sr.FairnessJain
+	se.mu.Lock()
+	se.memo[key] = v
+	se.mu.Unlock()
+	return v, nil
+}
+
+// Stats returns the cache counters: total lookups and hits.
+func (se *SetEvaluator) Stats() (lookups, hits int64) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.lookups, se.hits
+}
+
+// HitRate is hits/lookups (0 before the first lookup).
+func (se *SetEvaluator) HitRate() float64 {
+	l, h := se.Stats()
+	if l == 0 {
+		return 0
+	}
+	return float64(h) / float64(l)
+}
