@@ -40,6 +40,7 @@ import (
 	"einsteinbarrier/internal/serve"
 	"einsteinbarrier/internal/sim"
 	"einsteinbarrier/internal/tensor"
+	"einsteinbarrier/internal/trace"
 )
 
 // benchReport caches one full evaluation for the Fig. 7/8 benches.
@@ -898,4 +899,102 @@ func BenchmarkSerialization(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTrace prices the trace recorder against the pipeline hot
+// path (DESIGN.md "Trace observability"). Disabled is the guardrail:
+// a nil recorder must cost nothing — same schedule and same allocs/op
+// as BenchmarkPipeline's CNN-L/EinsteinBarrier/B=256 case (the
+// recorder itself adds zero; see the AllocsPerRun pin in
+// internal/trace), so the ≤2% overhead acceptance bound reads straight
+// off the two series. Enabled re-runs the identical batch into a ring
+// sized to hold every event (events/sample is the reported density);
+// Export streams the filled ring as Chrome-trace JSON and CSV.
+func BenchmarkTrace(b *testing.B) {
+	cfg := eval.DefaultConfig()
+	simulator, err := sim.New(cfg.Arch, cfg.Costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := bnn.NewModel("CNN-L", cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := compiler.Compile(model, cfg.Arch, arch.EinsteinBarrier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := simulator.NewEngine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 256
+	b.Run("Disabled/CNN-L/EinsteinBarrier/B=256", func(b *testing.B) {
+		eng.EnableTrace(nil)
+		var br *sim.BatchResult
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if br, err = eng.RunBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(br.ThroughputPerSec, "inf/s")
+	})
+	rec := trace.New(batch*eng.TraceEventsPerSample() + 16)
+	b.Run("Enabled/CNN-L/EinsteinBarrier/B=256", func(b *testing.B) {
+		eng.EnableTrace(rec)
+		defer eng.EnableTrace(nil)
+		var br *sim.BatchResult
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Reset()
+			if br, err = eng.RunBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(br.ThroughputPerSec, "inf/s")
+		b.ReportMetric(float64(rec.Len())/batch, "events/sample")
+		if rec.Dropped() != 0 {
+			b.Fatalf("ring sized for the batch still dropped %d events", rec.Dropped())
+		}
+	})
+	// Fill the ring once so the export benches stream a full batch.
+	eng.EnableTrace(rec)
+	rec.Reset()
+	if _, err := eng.RunBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	eng.EnableTrace(nil)
+	b.Run("Export/Chrome", func(b *testing.B) {
+		var n countingWriter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n = 0
+			if err := trace.WriteChrome(&n, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(n))
+		b.ReportMetric(float64(rec.Len()), "events")
+	})
+	b.Run("Export/CSV", func(b *testing.B) {
+		var n countingWriter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n = 0
+			if err := trace.WriteCSV(&n, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(n))
+	})
+}
+
+// countingWriter discards writes but keeps the byte count, so export
+// benches report MB/s without buffering the document.
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
 }

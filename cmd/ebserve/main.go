@@ -2,7 +2,9 @@
 // network in the dynamic-batching server (internal/serve) and either
 // exposes it over HTTP or drives it with the embedded load generator.
 //
-//	ebserve -network MLP-S -addr :8080            # HTTP: /infer /stats /healthz
+//	ebserve -network MLP-S -addr :8080            # HTTP: /infer /stats /metrics /healthz
+//	ebserve -network MLP-S -trace -addr :8080     # + per-request spans on GET /trace
+//	ebserve -lifetime -trace-out spans.json       # span timeline of a lifetime run
 //	ebserve -network CNN-S -design eb -loadgen -rate 2000,8000,32000 -requests 2000
 //	ebserve -loadgen -rate 4000 -csv              # latency–throughput curve as CSV
 //	ebserve -backend hardware -loadgen -rate 50   # hardware-in-the-loop serving
@@ -49,6 +51,7 @@ import (
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/serve"
 	"einsteinbarrier/internal/sim"
+	"einsteinbarrier/internal/trace"
 )
 
 func main() {
@@ -86,6 +89,10 @@ type options struct {
 	clients    int
 	csvOut     bool
 	jsonOut    bool
+
+	trace    bool
+	traceOut string
+	rec      *trace.Recorder // shared span ring when -trace is on
 
 	lifetime      bool
 	lifetimes     float64
@@ -131,6 +138,8 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&o.clients, "clients", 4, "closed-loop client count (rate 0)")
 	fs.BoolVar(&o.csvOut, "csv", false, "emit the loadgen curve as CSV")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the loadgen curve as JSON")
+	fs.BoolVar(&o.trace, "trace", false, "record per-request serving spans into a sliding ring (GET /trace in serve mode)")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write the recorded spans as Chrome-trace JSON to this file after a loadgen/lifetime run (implies -trace)")
 	fs.BoolVar(&o.lifetime, "lifetime", false, "run the device-lifetime scenario: ageing hardware replicas, canary health, closed-loop recalibration")
 	fs.Float64Var(&o.lifetimes, "lifetimes", 3, "simulated device lifetimes the run spans")
 	fs.Float64Var(&o.driftHorizon, "drift-horizon", 120, "simulated seconds per device lifetime (drift horizon)")
@@ -151,6 +160,15 @@ func run(args []string, out io.Writer) error {
 	design, err := arch.ParseDesign(o.design)
 	if err != nil {
 		return err
+	}
+	if o.traceOut != "" {
+		o.trace = true
+	}
+	if o.trace {
+		// One sliding ring for the whole run: every server built from
+		// these options (including per-rate-point loadgen servers)
+		// registers its own process on it.
+		o.rec = trace.New(trace.DefaultCapacity)
 	}
 	if o.models != "" {
 		if o.loadgen {
@@ -272,6 +290,7 @@ func buildServerWithPricer(o options, model *bnn.Model, design arch.Design, eng 
 		MaxWait:  o.maxWait,
 		QueueCap: o.queueCap,
 		Workers:  o.workers,
+		Trace:    o.rec,
 	}
 	if !o.noPrice {
 		cfg.Pricer, err = serve.NewPricer(eng)
@@ -310,6 +329,7 @@ func buildServer(o options, model *bnn.Model, design arch.Design) (*serve.Server
 		MaxWait:  o.maxWait,
 		QueueCap: o.queueCap,
 		Workers:  o.workers,
+		Trace:    o.rec,
 	}
 	if !o.noPrice {
 		eng, err := eval.Pipeline(eval.DefaultConfig(), model, design)
@@ -365,6 +385,7 @@ func runLifetimeMode(o options, design arch.Design, out io.Writer) error {
 		SecondsPerSample: o.lifetimes * o.driftHorizon / float64(o.requests),
 		Fallback:         o.fallback,
 		Clients:          o.clients,
+		Trace:            o.rec,
 	}
 	if o.noPrice {
 		sc.Design = -1
@@ -380,6 +401,9 @@ func runLifetimeMode(o options, design arch.Design, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := writeServeTrace(o); err != nil {
+		return err
+	}
 	switch {
 	case o.csvOut:
 		return eval.WriteLifetimeCSV(out, rep)
@@ -389,6 +413,23 @@ func runLifetimeMode(o options, design arch.Design, out io.Writer) error {
 		fmt.Fprint(out, eval.LifetimeTable(rep))
 		return nil
 	}
+}
+
+// writeServeTrace dumps the recorded span ring to -trace-out (no-op
+// when unset).
+func writeServeTrace(o options) error {
+	if o.traceOut == "" || o.rec == nil {
+		return nil
+	}
+	f, err := os.Create(o.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, o.rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runLoadgen sweeps the requested arrival rates and renders the curve.
@@ -425,6 +466,9 @@ func runLoadgen(o options, model *bnn.Model, newServer func() (*serve.Server, er
 		if err != nil {
 			return err
 		}
+	}
+	if err := writeServeTrace(o); err != nil {
+		return err
 	}
 	switch {
 	case o.csvOut:
@@ -466,6 +510,9 @@ func runMaxBatchSweep(o options, model *bnn.Model, design arch.Design, out io.Wr
 		return buildServer(oo, model, design)
 	}, caps, base)
 	if err != nil {
+		return err
+	}
+	if err := writeServeTrace(o); err != nil {
 		return err
 	}
 	switch {

@@ -5,11 +5,15 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/bnn"
+	"einsteinbarrier/internal/trace"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -271,8 +275,14 @@ func TestLifetimeCSVMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) < 2 || recs[0][0] != "served_samples" {
+	// The lifetime CSV is the shared trace schema since PR 9: one
+	// counter row per canary point, track = replica, seq = served
+	// samples.
+	if len(recs) < 2 || recs[0][0] != "kind" || recs[0][5] != "seq" {
 		t.Fatalf("lifetime CSV shape wrong: %v", recs)
+	}
+	if recs[1][0] != "counter" {
+		t.Fatalf("first lifetime row not a counter event: %v", recs[1])
 	}
 }
 
@@ -301,5 +311,80 @@ func TestLifetimeFlagErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("%s: run(%v) succeeded, want error", name, args)
 		}
+	}
+}
+
+func TestTraceOutLoadgen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.json")
+	runOK(t, "-loadgen", "-rate", "0", "-requests", "16", "-clients", "1",
+		"-no-pricing", "-trace-out", path)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("-trace-out not Chrome-trace JSON: %v", err)
+	}
+	var spans int
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "b" {
+			spans++
+		}
+	}
+	if spans != 16 {
+		t.Fatalf("%d request spans, want 16", spans)
+	}
+	if doc.OtherData["time_axis"] != "wall_ns_since_start" {
+		t.Fatalf("otherData %v", doc.OtherData)
+	}
+}
+
+func TestTraceOutLifetime(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "life.json")
+	runOK(t, "-lifetime", "-requests", "12", "-lifetimes", "3",
+		"-drift-horizon", "80", "-canary-period", "2", "-canary-size", "8",
+		"-max-batch", "4", "-no-pricing", "-json", "-trace-out", path)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"recalibrate"`) {
+		t.Fatalf("lifetime span trace has no recalibration slice:\n%.400s", b)
+	}
+}
+
+// TestServeModeTraceWired: -trace attaches the span ring, so the
+// handler exposes GET /trace (run() would block on ListenAndServe, so
+// the server is built directly from the options).
+func TestServeModeTraceWired(t *testing.T) {
+	o := options{
+		network: "MLP-S", design: "eb", backend: "software",
+		maxBatch: 8, maxWait: 100 * time.Microsecond, workers: 1, seed: 1,
+		noPrice: true, trace: true,
+		rec: trace.New(trace.DefaultCapacity),
+	}
+	design, err := arch.ParseDesign(o.design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := bnn.NewModel(o.network, o.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(o, model, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	req := httptest.NewRequest("GET", "/trace", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "traceEvents") {
+		t.Fatalf("GET /trace: %d %s", rec.Code, rec.Body.String())
 	}
 }

@@ -12,6 +12,8 @@
 //	ebsim -model MLP-L -placer search -batch 256   # annealed, engine-priced layout
 //	ebsim -models MLP-S,CNN-S -placer mesh         # co-locate on one fabric
 //	ebsim -models MLP-S,CNN-S -placer search       # interference-aware co-location
+//	ebsim -model CNN-L -batch 256 -trace t.json    # Chrome-trace of the pipeline
+//	ebsim -placer search -trace-candidate c.json   # search-trajectory dump
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"einsteinbarrier/internal/gpu"
 	"einsteinbarrier/internal/isa"
 	"einsteinbarrier/internal/sim"
+	"einsteinbarrier/internal/trace"
 )
 
 func main() {
@@ -56,8 +59,14 @@ func run(args []string, out io.Writer) error {
 	searchSteps := fs.Int("search-steps", compiler.DefaultSearchSteps, "candidate-evaluation budget of -placer search")
 	searchSeed := fs.Int64("search-seed", 1, "search placer RNG seed")
 	searchBatch := fs.Int("search-batch", 0, "batch size of the search objective (0 = -batch)")
+	traceOut := fs.String("trace", "", "write the pipeline drill-down as Chrome-trace JSON (chrome://tracing / Perfetto) to this file")
+	traceCSV := fs.String("trace-csv", "", "write the same trace as flat CSV to this file")
+	traceCand := fs.String("trace-candidate", "", "with -placer search: write the search-candidate trajectory as Chrome-trace JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceCand != "" && *placerName != "search" {
+		return fmt.Errorf("-trace-candidate needs -placer search")
 	}
 
 	// "search" is model-bound (it compiles and prices candidates itself),
@@ -78,14 +87,26 @@ func run(args []string, out io.Writer) error {
 	if *colsPerADC > 0 {
 		cfg.ColumnsPerADC = *colsPerADC
 	}
-	search := eval.SearchSpec{Steps: *searchSteps, Seed: *searchSeed, Batch: *searchBatch}
+	var candRec *trace.Recorder
+	if *traceCand != "" {
+		// Warm starts, candidates, accept/improve markers: ≤3 events per
+		// objective evaluation.
+		candRec = trace.New(3*(*searchSteps) + 64)
+	}
+	search := eval.SearchSpec{Steps: *searchSteps, Seed: *searchSeed, Batch: *searchBatch, Trace: candRec}
 
 	if *models != "" {
 		names := strings.Split(*models, ",")
+		var err error
 		if placer == nil {
-			return runSearchCoLocation(out, names, *design, cfg, *seed, *batch, search)
+			err = runSearchCoLocation(out, names, *design, cfg, *seed, *batch, search, *traceOut, *traceCSV)
+		} else {
+			err = runCoLocation(out, names, *design, placer, cfg, *seed, *batch, *traceOut, *traceCSV)
 		}
-		return runCoLocation(out, names, *design, placer, cfg, *seed, *batch)
+		if err != nil {
+			return err
+		}
+		return writeTraceFiles(candRec, *traceCand, "")
 	}
 
 	m, err := bnn.NewModel(*model, *seed)
@@ -124,7 +145,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sp, err = compiler.NewSearchPlacer(m, cfg, d, pe, compiler.SearchOptions{Steps: search.Steps, Seed: search.Seed})
+		sp, err = compiler.NewSearchPlacer(m, cfg, d, pe, compiler.SearchOptions{Steps: search.Steps, Seed: search.Seed, Trace: candRec})
 		if err != nil {
 			return err
 		}
@@ -155,6 +176,12 @@ func run(args []string, out io.Writer) error {
 	eng, err := s.NewEngine(c)
 	if err != nil {
 		return err
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceCSV != "" {
+		// Size the ring so the full batch timeline fits — nothing drops.
+		rec = trace.New(*batch*eng.TraceEventsPerSample() + 16)
+		eng.EnableTrace(rec)
 	}
 	r := eng.Result()
 
@@ -225,7 +252,47 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  silicon area:         %.3f mm2/array, %.1f mm2 for the %d arrays used\n",
 		perArray.Total()/1e6, perArray.Total()*float64(c.VCoresUsed)/1e6, c.VCoresUsed)
-	return nil
+	if err := writeTraceFiles(rec, *traceOut, *traceCSV); err != nil {
+		return err
+	}
+	return writeTraceFiles(candRec, *traceCand, "")
+}
+
+// enableSetTrace attaches a full-batch recorder to a co-located engine
+// set when either trace output was requested.
+func enableSetTrace(es *sim.EngineSet, batch int, traceJSON, traceCSV string) *trace.Recorder {
+	if traceJSON == "" && traceCSV == "" {
+		return nil
+	}
+	rec := trace.New(batch*es.TraceEventsPerSample() + 64)
+	es.EnableTrace(rec)
+	return rec
+}
+
+// writeTraceFiles dumps a recorder as Chrome-trace JSON and/or flat
+// CSV. A nil recorder (tracing off) writes nothing.
+func writeTraceFiles(r *trace.Recorder, jsonPath, csvPath string) error {
+	if r == nil {
+		return nil
+	}
+	write := func(path string, enc func(io.Writer, *trace.Recorder) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := enc(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonPath, trace.WriteChrome); err != nil {
+		return err
+	}
+	return write(csvPath, trace.WriteCSV)
 }
 
 // mlcSuffix annotates multi-level-cell designs with their level count
@@ -253,7 +320,7 @@ func sendHops(c *compiler.Compiled) (hops, chipHops int) {
 // disjoint regions and prints the co-location drill-down: per-model
 // regions, isolated vs co-located throughput, and the fabric's
 // fairness/interference report.
-func runCoLocation(out io.Writer, names []string, designName string, placer compiler.Placer, cfg arch.Config, seed int64, batch int) error {
+func runCoLocation(out io.Writer, names []string, designName string, placer compiler.Placer, cfg arch.Config, seed int64, batch int, traceJSON, traceCSV string) error {
 	d, err := arch.ParseDesign(designName)
 	if err != nil {
 		return err
@@ -283,8 +350,12 @@ func runCoLocation(out io.Writer, names []string, designName string, placer comp
 	if err != nil {
 		return err
 	}
+	rec := enableSetTrace(es, batch, traceJSON, traceCSV)
 	r, err := es.RunSet(batch)
 	if err != nil {
+		return err
+	}
+	if err := writeTraceFiles(rec, traceJSON, traceCSV); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "co-location of %d models on %v (placer %s, batch %d)\n", len(cs), d, placer.Name(), batch)
@@ -304,7 +375,7 @@ func runCoLocation(out io.Writer, names []string, designName string, placer comp
 // eval.SearchCoLocate carves the fabric with the shard placer, then
 // anneals each model's region against the WHOLE set's Jain-penalized
 // aggregate throughput (sim.SetEvaluator).
-func runSearchCoLocation(out io.Writer, names []string, designName string, cfg arch.Config, seed int64, batch int, search eval.SearchSpec) error {
+func runSearchCoLocation(out io.Writer, names []string, designName string, cfg arch.Config, seed int64, batch int, search eval.SearchSpec, traceJSON, traceCSV string) error {
 	d, err := arch.ParseDesign(designName)
 	if err != nil {
 		return err
@@ -321,12 +392,16 @@ func runSearchCoLocation(out io.Writer, names []string, designName string, cfg a
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	cs, es, trace, err := eval.SearchCoLocate(evalCfg, names, d, batch)
+	cs, es, msearch, err := eval.SearchCoLocate(evalCfg, names, d, batch)
 	if err != nil {
 		return err
 	}
+	rec := enableSetTrace(es, batch, traceJSON, traceCSV)
 	r, err := es.RunSet(batch)
 	if err != nil {
+		return err
+	}
+	if err := writeTraceFiles(rec, traceJSON, traceCSV); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "co-location of %d models on %v (placer search, batch %d)\n", len(cs), d, batch)
@@ -339,7 +414,7 @@ func runSearchCoLocation(out io.Writer, names []string, designName string, cfg a
 	}
 	fmt.Fprintf(out, "  fabric: %.0f inf/s aggregate, fairness %.4f (Jain), interference wait %.2f us, makespan %.2f us\n",
 		r.AggregatePerSec, r.FairnessJain, r.InterferenceWaitNs/1e3, r.MakespanNs/1e3)
-	for _, ms := range trace {
+	for _, ms := range msearch {
 		st := ms.Stats
 		fmt.Fprintf(out, "  search %-8s %d evals, %d accepted, best from %s, set objective %.0f\n",
 			ms.Model, st.Steps, st.Accepted, st.BestFrom, st.BestScore)

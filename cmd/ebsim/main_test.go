@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -127,5 +130,81 @@ func TestSearchCoLocationDrillDown(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("search co-location missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// readTraceJSON parses a written Chrome-trace file.
+func readTraceJSON(t *testing.T, path string) (events []map[string]any, other map[string]any) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("%s not Chrome-trace JSON: %v", path, err)
+	}
+	return doc.TraceEvents, doc.OtherData
+}
+
+func TestTraceFlagWritesChromeAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "t.json")
+	csvPath := filepath.Join(dir, "t.csv")
+	runOK(t, "-model", "MLP-S", "-design", "eb", "-batch", "4",
+		"-trace", jsonPath, "-trace-csv", csvPath)
+	events, other := readTraceJSON(t, jsonPath)
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if other["batch"] != "4" || other["model"] != "MLP-S" {
+		t.Fatalf("otherData %v", other)
+	}
+	b, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if lines[0] != "kind,pid,tid,track,name,seq,start_ns,dur_ns,a,b" || len(lines) < 2 {
+		t.Fatalf("trace CSV shape wrong:\n%s", lines[0])
+	}
+}
+
+func TestTraceFlagCoLocation(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "co.json")
+	runOK(t, "-models", "MLP-S,MLP-M", "-placer", "mesh", "-batch", "4", "-trace", jsonPath)
+	events, _ := readTraceJSON(t, jsonPath)
+	pids := map[any]bool{}
+	for _, e := range events {
+		pids[e["pid"]] = true
+	}
+	// One process per co-located model.
+	if len(pids) != 2 {
+		t.Fatalf("co-location trace has %d processes, want 2", len(pids))
+	}
+}
+
+func TestTraceCandidateDump(t *testing.T) {
+	candPath := filepath.Join(t.TempDir(), "cand.json")
+	runOK(t, "-model", "MLP-S", "-placer", "search", "-batch", "8",
+		"-search-steps", "8", "-trace-candidate", candPath)
+	events, other := readTraceJSON(t, candPath)
+	var counters int
+	for _, e := range events {
+		if e["ph"] == "C" {
+			counters++
+		}
+	}
+	if counters == 0 {
+		t.Fatalf("no objective counters in candidate dump: %v", events)
+	}
+	if other["best_from"] == "" || other["steps"] == "" {
+		t.Fatalf("candidate dump missing search metadata: %v", other)
+	}
+	if err := run([]string{"-model", "MLP-S", "-trace-candidate", candPath}, io.Discard); err == nil {
+		t.Fatal("-trace-candidate without -placer search must error")
 	}
 }

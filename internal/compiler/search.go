@@ -8,6 +8,7 @@ import (
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/infer"
+	"einsteinbarrier/internal/trace"
 )
 
 // Search-based placement. The three shipped placers are one-shot
@@ -65,6 +66,11 @@ type SearchOptions struct {
 	// Workers bounds the parallel candidate evaluation (0 = one per
 	// CPU). The placement found is bit-identical at any worker count.
 	Workers int
+	// Trace, when non-nil, records the search trajectory — one counter
+	// event per objective evaluation, the evaluation index as the time
+	// axis — bit-identical at any Workers count (events are emitted
+	// after each round's parallel evaluation, in candidate order).
+	Trace *trace.Recorder
 }
 
 // WarmStart records one heuristic's objective value (or failure) under
@@ -167,6 +173,7 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 	}
 	st := SearchStats{BestScore: math.Inf(-1)}
 	best := scored{score: math.Inf(-1)}
+	str := newSearchTrace(sp.opts.Trace, sp.low.ModelName)
 
 	// Warm starts: every heuristic that fits the region, scored through
 	// the same objective as the candidates. The best one seeds the
@@ -183,9 +190,11 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 		}
 		st.Steps++
 		st.WarmStarts = append(st.WarmStarts, WarmStart{Name: wp.Name(), Score: s.score})
+		str.warm(wp.Name(), st.Steps-1, s.score)
 		if s.valid && s.score > best.score {
 			best = s
 			st.BestFrom = wp.Name()
+			str.improved(st.Steps-1, s.score)
 		}
 	}
 	if !best.valid {
@@ -222,19 +231,24 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 			st.Rounds++
 			st.Steps += searchRound
 			for i, s := range results {
+				step := st.Steps - searchRound + i
 				// One acceptance draw per candidate, always consumed — the
 				// RNG schedule never depends on validity or score.
 				u := acc.Float64()
 				if !s.valid {
+					str.candidate(step, temp, s.score, false, false)
 					continue
 				}
+				rel := (s.score - curScore) / math.Max(math.Abs(curScore), 1)
+				accepted := rel >= 0 || u < math.Exp(rel/temp)
+				str.candidate(step, temp, s.score, true, accepted)
 				if s.score > best.score {
 					best = s
 					st.BestFrom = "anneal"
 					st.Improved = true
+					str.improved(step, s.score)
 				}
-				rel := (s.score - curScore) / math.Max(math.Abs(curScore), 1)
-				if rel >= 0 || u < math.Exp(rel/temp) {
+				if accepted {
 					cur, curScore = cands[i], s.score
 					st.Accepted++
 				}
@@ -244,6 +258,7 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 	out := *best.p
 	out.Placer = "search"
 	st.BestScore = best.score
+	str.done(st)
 	sp.stats = st
 	return &out, nil
 }

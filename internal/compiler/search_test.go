@@ -1,12 +1,14 @@
 package compiler
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/isa"
+	"einsteinbarrier/internal/trace"
 )
 
 // hopEvaluator is a sim-free stand-in objective for the search tests:
@@ -243,5 +245,41 @@ func TestPlacementFingerprint(t *testing.T) {
 	}
 	if strings.Contains(g.Placement.Fingerprint(), "!") {
 		t.Fatal("inexact placements must not carry the exact marker")
+	}
+}
+
+// TestSearchTraceWorkerInvariant: the candidate dump is part of the
+// determinism contract — emission happens after each round's parallel
+// evaluation, in candidate index order, so the byte-for-byte Chrome
+// export must not depend on SearchOptions.Workers.
+func TestSearchTraceWorkerInvariant(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	m := mustModel(t, "MLP-S")
+	var want []byte
+	for run, workers := range []int{1, 2, 4, 0} {
+		rec := trace.New(1024)
+		sp, err := NewSearchPlacer(m, cfg, arch.EinsteinBarrier, hopEvaluator{}, SearchOptions{
+			Steps: 32, Seed: 11, Workers: workers, Trace: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompileWith(m, cfg, arch.EinsteinBarrier, Options{Placer: sp}); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Len() == 0 {
+			t.Fatal("search emitted no trace events")
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("workers=%d: candidate trace drifted from workers=1 export", workers)
+		}
 	}
 }

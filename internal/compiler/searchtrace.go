@@ -1,0 +1,104 @@
+package compiler
+
+import (
+	"math"
+	"strconv"
+
+	"einsteinbarrier/internal/trace"
+)
+
+// Search-trajectory tracing. When SearchOptions.Trace carries a
+// recorder, Place dumps every objective evaluation — warm starts and
+// annealed candidates — as counter events on an "objective" track,
+// with the evaluation index as the time axis. Emission happens after
+// each round's parallel evaluation completes, in candidate order, so
+// the dump is bit-identical at any Workers count (the same contract
+// the returned placement keeps). Infeasible candidates score -Inf,
+// which JSON cannot carry — they land as "infeasible" instants
+// instead.
+type searchTrace struct {
+	r     *trace.Recorder
+	track int32
+
+	candNm, bestNm, infeasNm, acceptNm int32
+	warmNm                             map[string]int32
+}
+
+// newSearchTrace registers the search's process; returns nil (all
+// emitters no-op) when r is nil.
+func newSearchTrace(r *trace.Recorder, model string) *searchTrace {
+	if r == nil {
+		return nil
+	}
+	t := &searchTrace{r: r, warmNm: map[string]int32{}}
+	proc := r.AddProcess("placement search " + model)
+	t.track = r.AddTrack(proc, "objective")
+	t.candNm = r.Intern("candidate")
+	t.bestNm = r.Intern("best")
+	t.infeasNm = r.Intern("infeasible")
+	t.acceptNm = r.Intern("accept")
+	r.SetMeta("model", model)
+	r.SetMeta("time_axis", "objective_evaluations")
+	return t
+}
+
+// warm records one heuristic warm start's score (or its infeasibility).
+func (t *searchTrace) warm(name string, step int, score float64) {
+	if t == nil {
+		return
+	}
+	nm, ok := t.warmNm[name]
+	if !ok {
+		nm = t.r.Intern("warm-start " + name)
+		t.warmNm[name] = nm
+	}
+	if math.IsInf(score, 0) {
+		t.r.Emit(trace.Event{Kind: trace.KindInstant, Track: t.track, Name: t.infeasNm,
+			Seq: int64(step), Start: float64(step)})
+		return
+	}
+	t.r.Emit(trace.Event{Kind: trace.KindCounter, Track: t.track, Name: nm,
+		Seq: int64(step), Start: float64(step), A: score})
+}
+
+// candidate records one annealed candidate's evaluation; accepted
+// candidates additionally get an instant marker.
+func (t *searchTrace) candidate(step int, temp, score float64, valid, accepted bool) {
+	if t == nil {
+		return
+	}
+	if !valid {
+		t.r.Emit(trace.Event{Kind: trace.KindInstant, Track: t.track, Name: t.infeasNm,
+			Seq: int64(step), Start: float64(step), B: temp})
+		return
+	}
+	t.r.Emit(trace.Event{Kind: trace.KindCounter, Track: t.track, Name: t.candNm,
+		Seq: int64(step), Start: float64(step), A: score, B: temp})
+	if accepted {
+		t.r.Emit(trace.Event{Kind: trace.KindInstant, Track: t.track, Name: t.acceptNm,
+			Seq: int64(step), Start: float64(step), A: score})
+	}
+}
+
+// improved records a new incumbent best.
+func (t *searchTrace) improved(step int, score float64) {
+	if t == nil {
+		return
+	}
+	t.r.Emit(trace.Event{Kind: trace.KindCounter, Track: t.track, Name: t.bestNm,
+		Seq: int64(step), Start: float64(step), A: score})
+}
+
+// done stamps the outcome into the trace metadata.
+func (t *searchTrace) done(st SearchStats) {
+	if t == nil {
+		return
+	}
+	t.r.SetMeta("best_from", st.BestFrom)
+	t.r.SetMeta("steps", strconv.Itoa(st.Steps))
+	t.r.SetMeta("rounds", strconv.Itoa(st.Rounds))
+	t.r.SetMeta("accepted", strconv.Itoa(st.Accepted))
+	if !math.IsInf(st.BestScore, 0) {
+		t.r.SetMeta("best_score", strconv.FormatFloat(st.BestScore, 'g', -1, 64))
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"einsteinbarrier/internal/gpu"
 	"einsteinbarrier/internal/infer"
 	"einsteinbarrier/internal/sim"
+	"einsteinbarrier/internal/trace"
 )
 
 // Config parameterizes one evaluation run.
@@ -59,6 +60,9 @@ type SearchSpec struct {
 	// Engine.RunBatch(Batch) throughput. 0 means the experiment's own
 	// batch size.
 	Batch int
+	// Trace, when non-nil, receives the search trajectory (one process
+	// per searched model) — see compiler.SearchOptions.Trace.
+	Trace *trace.Recorder
 }
 
 // designs returns the evaluated design set.

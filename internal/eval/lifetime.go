@@ -1,17 +1,16 @@
 package eval
 
 import (
-	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strconv"
 	"time"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/serve"
+	"einsteinbarrier/internal/trace"
 )
 
 // Device-lifetime evaluation: the robustness study (Fig. 8) prices
@@ -61,6 +60,10 @@ type LifetimeScenario struct {
 	// fully reproducible trace at Workers=1).
 	Diurnal *DiurnalLoad
 	Clients int
+	// Trace, when non-nil, receives the serving-side span trace
+	// (serve.Config.Trace): request spans, batch slices, and the
+	// lifetime lifecycle events (canary/recalibrate/retire/fallback).
+	Trace *trace.Recorder
 }
 
 // DiurnalLoad is the day/night arrival modulation.
@@ -160,6 +163,7 @@ func RunLifetime(sc LifetimeScenario) (LifetimeReport, error) {
 		Workers:  max(sc.Workers, 1),
 		MaxBatch: sc.MaxBatch,
 		Lifetime: &life,
+		Trace:    sc.Trace,
 	}
 	designName := ""
 	if sc.Design >= 0 {
@@ -293,24 +297,12 @@ func WriteLifetimeJSON(w io.Writer, r LifetimeReport) error {
 }
 
 // WriteLifetimeCSV emits the accuracy-over-time trace, one row per
-// canary probe — the plottable Fig. 8 dynamic counterpart.
+// canary probe — the plottable Fig. 8 dynamic counterpart. Since the
+// trace-observability PR this rides the shared internal/trace CSV
+// schema (kind,pid,tid,track,name,seq,start_ns,dur_ns,a,b): track is
+// the replica, name the lifecycle state (canary/flagged/post-recal),
+// seq and start the served-sample count, a the accuracy, b the wear
+// age in device-seconds.
 func WriteLifetimeCSV(w io.Writer, r LifetimeReport) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
-		"served_samples", "replica", "age_seconds", "accuracy", "flagged", "post_recal",
-	}); err != nil {
-		return err
-	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-	for _, p := range r.Trace {
-		if err := cw.Write([]string{
-			strconv.FormatInt(p.ServedSamples, 10), strconv.Itoa(p.Replica),
-			f(p.AgeSeconds), f(p.Accuracy),
-			strconv.FormatBool(p.Flagged), strconv.FormatBool(p.PostRecal),
-		}); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return trace.WriteCSV(w, LifetimeTraceRecorder(r))
 }

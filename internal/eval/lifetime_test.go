@@ -12,6 +12,7 @@ import (
 	"einsteinbarrier/internal/device"
 	"einsteinbarrier/internal/robust"
 	"einsteinbarrier/internal/serve"
+	"einsteinbarrier/internal/trace"
 )
 
 // lifetimeScenario is the pinned MLP-S × EinsteinBarrier run: read
@@ -174,10 +175,13 @@ func TestLifetimeWriters(t *testing.T) {
 	if len(lines) != 1+len(rep.Trace) {
 		t.Fatalf("CSV rows %d, want %d:\n%s", len(lines), 1+len(rep.Trace), csvBuf.String())
 	}
-	if !strings.HasPrefix(lines[0], "served_samples,replica,age_seconds,accuracy") {
-		t.Fatalf("CSV header %q", lines[0])
+	if lines[0] != trace.CSVHeader {
+		t.Fatalf("CSV header %q, want shared trace schema %q", lines[0], trace.CSVHeader)
 	}
-	if !strings.Contains(lines[2], "true") {
+	if !strings.Contains(lines[1], "flagged") || !strings.Contains(lines[1], "replica 0") {
+		t.Fatalf("flagged row not marked: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "post-recal") {
 		t.Fatalf("post-recal row not marked: %q", lines[2])
 	}
 

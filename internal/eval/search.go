@@ -73,6 +73,7 @@ func SearchCoLocate(cfg Config, names []string, d arch.Design, batch int) ([]*co
 		}
 		sp, err := compiler.NewSearchPlacer(m, cfg.Arch, d, se, compiler.SearchOptions{
 			Steps: cfg.Search.Steps, Seed: seed + int64(i), Workers: cfg.Workers,
+			Trace: cfg.Search.Trace,
 		})
 		if err != nil {
 			return nil, nil, nil, err

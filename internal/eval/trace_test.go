@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"einsteinbarrier/internal/arch"
+	"einsteinbarrier/internal/serve"
+	"einsteinbarrier/internal/trace"
+)
+
+// TestTraceZooWorkerInvariant is the eval-layer determinism pin: the
+// serialized exports of every zoo network on every design are
+// byte-identical at any worker count, including the library default
+// (0) — same contract as eval.Run and ThroughputAt.
+func TestTraceZooWorkerInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	designs := []arch.Design{arch.TacitEPCM, arch.EinsteinBarrier}
+	const batch = 8
+	base, err := TraceZoo(cfg, designs, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("no exports")
+	}
+	for _, ex := range base {
+		if len(ex.Chrome) == 0 || len(ex.CSV) == 0 {
+			t.Fatalf("%s/%v: empty export", ex.Network, ex.Design)
+		}
+	}
+	for _, workers := range []int{2, 4, 0} {
+		cfg2 := cfg
+		cfg2.Workers = workers
+		got, err := TraceZoo(cfg2, designs, batch)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d exports, want %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i].Network != base[i].Network || got[i].Design != base[i].Design {
+				t.Fatalf("workers=%d: order diverged at %d", workers, i)
+			}
+			if !bytes.Equal(got[i].Chrome, base[i].Chrome) {
+				t.Fatalf("workers=%d: %s/%v chrome export differs", workers, got[i].Network, got[i].Design)
+			}
+			if !bytes.Equal(got[i].CSV, base[i].CSV) {
+				t.Fatalf("workers=%d: %s/%v CSV export differs", workers, got[i].Network, got[i].Design)
+			}
+		}
+	}
+}
+
+// TestTraceBatchValidates rejects nonsense inputs.
+func TestTraceBatchValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, _, err := TraceBatch(cfg, "MLP-S", arch.EinsteinBarrier, 0); err == nil {
+		t.Fatal("batch 0 should fail")
+	}
+	if _, _, err := TraceBatch(cfg, "no-such-net", arch.EinsteinBarrier, 1); err == nil {
+		t.Fatal("unknown network should fail")
+	}
+}
+
+// TestLifetimeTraceRecorder pins the canary-series mapping into the
+// shared trace representation.
+func TestLifetimeTraceRecorder(t *testing.T) {
+	rep := LifetimeReport{
+		Model: "MLP-S", Design: "EinsteinBarrier",
+		HorizonSeconds: 120, Recalibrations: 1, FallbackServed: 3,
+		Trace: []serve.CanaryPoint{
+			{Replica: 0, ServedSamples: 4, AgeSeconds: 80, Accuracy: 0.9},
+			{Replica: 1, ServedSamples: 6, AgeSeconds: 120, Accuracy: 0.75, Flagged: true},
+			{Replica: 1, ServedSamples: 6, AgeSeconds: 0, Accuracy: 1, PostRecal: true},
+		},
+	}
+	r := LifetimeTraceRecorder(rep)
+	if got := len(r.Tracks()); got != 2 {
+		t.Fatalf("tracks = %d, want one per replica (2)", got)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	wantNames := []string{"canary", "flagged", "post-recal"}
+	for i, ev := range evs {
+		if ev.Kind != trace.KindCounter {
+			t.Fatalf("event %d kind %v", i, ev.Kind)
+		}
+		if got := r.Name(ev.Name); got != wantNames[i] {
+			t.Fatalf("event %d name %q, want %q", i, got, wantNames[i])
+		}
+		if ev.A != rep.Trace[i].Accuracy || ev.B != rep.Trace[i].AgeSeconds {
+			t.Fatalf("event %d payload (%v,%v) != point (%v,%v)",
+				i, ev.A, ev.B, rep.Trace[i].Accuracy, rep.Trace[i].AgeSeconds)
+		}
+		if ev.Seq != rep.Trace[i].ServedSamples {
+			t.Fatalf("event %d seq %d != served %d", i, ev.Seq, rep.Trace[i].ServedSamples)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteLifetimeTrace(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("lifetime trace not JSON: %v", err)
+	}
+	if parsed.OtherData["time_axis"] != "served_samples" || parsed.OtherData["fallback_served"] != "3" {
+		t.Fatalf("otherData = %v", parsed.OtherData)
+	}
+}

@@ -223,8 +223,11 @@ func NewPricer(eng *sim.Engine) (*Pricer, error) {
 	}, nil
 }
 
-// price accumulates one served batch. Called by server workers.
-func (p *Pricer) price(b int) {
+// price accumulates one served batch and returns the engine's result
+// for that batch size (nil only on an engine error) — the trace joins
+// the serving timeline to the simulated schedule through it. Called by
+// server workers.
+func (p *Pricer) price(b int) *sim.BatchResult {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	br, ok := p.memo[b]
@@ -232,7 +235,7 @@ func (p *Pricer) price(b int) {
 		var err error
 		br, err = p.eng.RunBatch(b)
 		if err != nil {
-			return // unreachable for b ≥ 1; keep the serving path alive
+			return nil // unreachable for b ≥ 1; keep the serving path alive
 		}
 		p.memo[b] = br
 	}
@@ -240,6 +243,7 @@ func (p *Pricer) price(b int) {
 	p.samples += int64(b)
 	p.simNs += br.MakespanNs
 	p.energyPJ += float64(b) * br.EnergyPJPerInference
+	return br
 }
 
 // SimSnapshot is the accumulated simulated-accelerator view of the

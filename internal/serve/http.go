@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"einsteinbarrier/internal/tensor"
+	"einsteinbarrier/internal/trace"
 )
 
 // JSON wire format of the /infer endpoint.
@@ -17,8 +19,12 @@ type InferRequest struct {
 	Input []float64 `json:"input"`
 }
 
-// InferResponse is the /infer reply.
+// InferResponse is the /infer reply. RequestID is also echoed as the
+// X-Request-ID response header (set at admission, before the batch is
+// even formed, so timed-out connections still carry it) — the span id
+// to look the request up by in a GET /trace export.
 type InferResponse struct {
+	RequestID int64     `json:"request_id"`
 	Class     int       `json:"class"`
 	Logits    []float64 `json:"logits"`
 	BatchSize int       `json:"batch_size"`
@@ -35,7 +41,10 @@ type errorBody struct {
 // Handler returns the HTTP front end:
 //
 //	POST /infer   — run one inference through the dynamic batcher
-//	GET  /stats   — metrics snapshot (Snapshot)
+//	GET  /stats   — metrics snapshot (Snapshot, JSON)
+//	GET  /metrics — the same counters in Prometheus text exposition
+//	GET  /trace   — Chrome-trace snapshot of the serving span ring
+//	                (404 unless Config.Trace is set)
 //	GET  /healthz — liveness + backend identity
 //
 // Overload (a shed request) maps to 503 with Retry-After, malformed
@@ -45,6 +54,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /infer", s.handleInfer)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -72,7 +83,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// on the reply channel is an execution failure inside the server
 	// (500) — the distinction keeps backend faults from being blamed on
 	// the client.
-	ch, err := s.SubmitAsync(tensor.FromSlice(req.Input, len(req.Input)))
+	ch, id, err := s.SubmitTraced(tensor.FromSlice(req.Input, len(req.Input)))
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "0")
@@ -85,6 +96,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	w.Header().Set("X-Request-ID", strconv.FormatInt(id, 10))
 	// Honor the request context while waiting for the reply: a stuck or
 	// slow replica must not hang the connection past the caller's
 	// deadline. The request itself still completes server-side (it is
@@ -107,6 +119,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	res := rep.Result
 	writeJSON(w, http.StatusOK, InferResponse{
+		RequestID: res.RequestID,
 		Class:     res.Class,
 		Logits:    res.Logits,
 		BatchSize: res.BatchSize,
@@ -118,6 +131,20 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w, s.Stats())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Trace == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "tracing disabled: start the server with a trace recorder (ebserve -trace)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteChrome(w, s.cfg.Trace)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

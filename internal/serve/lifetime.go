@@ -5,11 +5,15 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"einsteinbarrier/internal/bnn"
 	"einsteinbarrier/internal/crossbar"
 	"einsteinbarrier/internal/tensor"
 )
+
+// timeNow is the wall clock for trace timestamps (a var for tests).
+var timeNow = time.Now
 
 // Device-lifetime serving: replicas age with served work, a canary
 // stream detects drift-induced degradation, and a closed recalibration
@@ -204,6 +208,10 @@ type LifetimeSnapshot struct {
 // lifetime is the server-side lifecycle controller.
 type lifetime struct {
 	cfg *LifetimeConfig
+	// tr mirrors the server's trace state (nil when tracing is off):
+	// canary probes, drain/recalibration windows and retirements land
+	// on the owning worker's track.
+	tr *serveTrace
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signaled when `active` drops (fallback gate)
@@ -357,8 +365,12 @@ func (l *lifetime) afterBatch(id int, rep Replica, n int) bool {
 	st.canaryRuns++
 	flagged := st.health.observe(acc)
 	l.mu.Unlock()
-	l.record(CanaryPoint{Replica: id, ServedSamples: l.servedSamples.Load(),
-		AgeSeconds: st.age, Accuracy: acc, Flagged: flagged})
+	probe := CanaryPoint{Replica: id, ServedSamples: l.servedSamples.Load(),
+		AgeSeconds: st.age, Accuracy: acc, Flagged: flagged}
+	l.record(probe)
+	if l.tr != nil {
+		l.tr.canary(id, probe)
+	}
 	if !flagged {
 		return false
 	}
@@ -369,6 +381,7 @@ func (l *lifetime) afterBatch(id int, rep Replica, n int) bool {
 	// completed above, so nothing is dropped — the drain protocol.
 	l.setState(id, repRecalibrating)
 	l.draining.Add(1)
+	recalBegan := timeNow()
 	report := lr.Recalibrate()
 	post, err := l.cfg.Canary.Evaluate(rep)
 	if err != nil {
@@ -386,10 +399,16 @@ func (l *lifetime) afterBatch(id int, rep Replica, n int) bool {
 	l.draining.Add(-1)
 	l.record(CanaryPoint{Replica: id, ServedSamples: l.servedSamples.Load(),
 		AgeSeconds: 0, Accuracy: post, PostRecal: true})
+	if l.tr != nil {
+		l.tr.recal(id, recalBegan, post)
+	}
 	if post < l.cfg.Floor {
 		// Recalibration cannot restore the floor (permanent damage —
 		// e.g. accumulated stuck-at faults): retire the replica.
 		l.setState(id, repRetired)
+		if l.tr != nil {
+			l.tr.retired(id)
+		}
 		return true
 	}
 	l.drainTail.Add(2) // attribute the queued-behind-drain batches too
@@ -465,7 +484,7 @@ func (s *Server) fallbackLoop(rep Replica) {
 			l.fallbackBusy.Store(false)
 			return
 		}
-		s.serveBatch(rep, job, &xs, &preds, true)
+		s.serveBatch(-1, rep, job, &xs, &preds, true)
 		l.fallbackServed.Add(int64(len(job.reqs)))
 		l.fallbackBusy.Store(false)
 	}

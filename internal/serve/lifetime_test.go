@@ -373,7 +373,7 @@ func TestRetryAbsorbsTransientErrors(t *testing.T) {
 	}
 	s.Stop()
 	snap := s.Stats()
-	if snap.Retries == 0 {
+	if snap.Retried == 0 {
 		t.Fatal("no retries recorded")
 	}
 	if snap.Failed != 0 || snap.Completed != 8 {

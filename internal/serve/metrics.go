@@ -163,10 +163,14 @@ type Snapshot struct {
 	Rejected int64 `json:"rejected"`
 	// TimedOut counts HTTP requests whose context deadline expired
 	// before the reply (504s); the request itself still completed
-	// server-side. Retries counts batch re-executions after transient
-	// replica errors.
-	TimedOut int64 `json:"timed_out"`
-	Retries  int64 `json:"retries"`
+	// server-side. Retried counts batch re-executions after transient
+	// replica errors. FallbackServed counts samples answered by the
+	// fail-open software path (lifetime mode; also inside the Lifetime
+	// block — surfaced here so the cumulative counters read uniformly
+	// on /metrics).
+	TimedOut       int64 `json:"timed_out"`
+	Retried        int64 `json:"retried"`
+	FallbackServed int64 `json:"fallback_served"`
 	// ShedRate is Shed / (Accepted + Shed).
 	ShedRate float64 `json:"shed_rate"`
 	// Completed/Failed counts replies; Batches the dispatched batches;
@@ -203,7 +207,7 @@ func (m *metrics) snapshot(backend string, queueDepth int) Snapshot {
 		Shed:       shed,
 		Rejected:   m.rejected.Load(),
 		TimedOut:   m.timedOut.Load(),
-		Retries:    m.retries.Load(),
+		Retried:    m.retries.Load(),
 		QueueDepth: queueDepth,
 	}
 	if accepted+shed > 0 {

@@ -148,12 +148,17 @@ func (r *Router) Stop() {
 //	                         (model may be omitted with a single model)
 //	GET  /models           — served models and their backends
 //	GET  /stats            — per-model snapshots + shared-fabric report
+//	GET  /metrics          — every model's counters in Prometheus text,
+//	                         one model="NAME" label per sample
+//	GET  /trace?model=NAME — a model server's serving-trace snapshot
 //	GET  /healthz          — aggregate liveness
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /infer", r.handleInfer)
 	mux.HandleFunc("GET /models", r.handleModels)
 	mux.HandleFunc("GET /stats", r.handleStats)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /trace", r.handleTrace)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	return mux
 }
@@ -218,6 +223,17 @@ func (r *Router) Stats() RouterStats {
 
 func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteFleetMetrics(w, r.Stats().Models)
+}
+
+func (r *Router) handleTrace(w http.ResponseWriter, req *http.Request) {
+	if s, ok := r.pick(w, req); ok {
+		s.handleTrace(w, req)
+	}
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -33,9 +33,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"einsteinbarrier/internal/tensor"
+	"einsteinbarrier/internal/trace"
 )
 
 // Admission errors. ErrOverloaded is retryable (the queue was full at
@@ -81,6 +83,11 @@ type Config struct {
 	// closed loop drains + recalibrates flagged replicas. Requires every
 	// replica to implement LifetimeReplica (i.e. a hardware backend).
 	Lifetime *LifetimeConfig
+	// Trace, when non-nil, records per-request spans, per-worker batch
+	// slices, retry/drain/fallback transitions and sim-pricer joins
+	// into the shared trace ring (internal/trace) — snapshot it live
+	// via GET /trace. The ring keeps the newest events under overflow.
+	Trace *trace.Recorder
 }
 
 // withDefaults fills unset fields.
@@ -108,6 +115,10 @@ func (c Config) withDefaults() Config {
 
 // Result is one request's reply.
 type Result struct {
+	// RequestID is the admission-assigned identity of the request —
+	// echoed as X-Request-ID over HTTP and used as the span id in the
+	// serving trace.
+	RequestID int64
 	// Class is the argmax prediction; Logits the full output vector.
 	Class  int
 	Logits []float64
@@ -128,6 +139,7 @@ type Reply struct {
 
 // request is one queued inference.
 type request struct {
+	id    int64
 	x     *tensor.Float
 	enq   time.Time
 	reply chan Reply
@@ -153,6 +165,8 @@ type Server struct {
 	fallback  Replica   // software fail-open replica (lifetime mode)
 	life      *lifetime // nil unless Config.Lifetime is set
 	metrics   *metrics
+	tr        *serveTrace // nil unless Config.Trace is set
+	reqSeq    atomic.Int64
 	batchSeq  int64 // owned by the batcher goroutine
 
 	mu      sync.Mutex // guards closed and the queue close
@@ -207,8 +221,19 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.life = newLifetime(cfg.Lifetime, cfg.Workers)
 	}
+	if cfg.Trace != nil {
+		s.tr = newServeTrace(cfg.Trace, cfg.Backend.Name(), cfg.Workers,
+			s.fallback != nil, cfg.Pricer != nil, s.metrics.start)
+		if s.life != nil {
+			s.life.tr = s.tr
+		}
+	}
 	return s, nil
 }
+
+// TraceRecorder exposes the attached span recorder (nil when tracing
+// is off) — the GET /trace surface snapshots it.
+func (s *Server) TraceRecorder() *trace.Recorder { return s.cfg.Trace }
 
 // Start launches the batcher and the batch workers. Requests submitted
 // before Start queue up (subject to admission control) and are served
@@ -266,6 +291,15 @@ func (s *Server) Stop() {
 // well-shaped and one caller's malformed tensor can never poison the
 // requests it would have been batched with.
 func (s *Server) SubmitAsync(x *tensor.Float) (<-chan Reply, error) {
+	ch, _, err := s.SubmitTraced(x)
+	return ch, err
+}
+
+// SubmitTraced is SubmitAsync plus the request ID assigned at
+// admission — the identity the HTTP layer echoes as X-Request-ID and
+// the serving trace uses as the span id. The ID is valid (non-zero)
+// exactly when err is nil.
+func (s *Server) SubmitTraced(x *tensor.Float) (<-chan Reply, int64, error) {
 	want := s.cfg.Backend.InputShape()
 	ok := x != nil && x.Size() == s.inputSize
 	if ok && x.Dims() != 1 {
@@ -280,27 +314,27 @@ func (s *Server) SubmitAsync(x *tensor.Float) (<-chan Reply, error) {
 		if x != nil {
 			shape = x.Shape()
 		}
-		return nil, fmt.Errorf("serve: input shape %v, backend %q wants %v (or a flat vector of %d)",
+		return nil, 0, fmt.Errorf("serve: input shape %v, backend %q wants %v (or a flat vector of %d)",
 			shape, s.cfg.Backend.Name(), want, s.inputSize)
 	}
 	if x.Dims() != len(want) {
 		x = x.Reshape(want...)
 	}
-	r := &request{x: x, enq: time.Now(), reply: make(chan Reply, 1)}
+	r := &request{id: s.reqSeq.Add(1), x: x, enq: time.Now(), reply: make(chan Reply, 1)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	select {
 	case s.queue <- r:
 		s.metrics.accepted.Add(1)
 		s.mu.Unlock()
-		return r.reply, nil
+		return r.reply, r.id, nil
 	default:
 		s.metrics.shed.Add(1)
 		s.mu.Unlock()
-		return nil, ErrOverloaded
+		return nil, 0, ErrOverloaded
 	}
 }
 
@@ -326,6 +360,7 @@ func (s *Server) Stats() Snapshot {
 	}
 	if s.life != nil {
 		snap.Lifetime = s.life.snapshot()
+		snap.FallbackServed = snap.Lifetime.FallbackServed
 	}
 	return snap
 }
@@ -458,7 +493,7 @@ func (s *Server) workLoop(id int, rep Replica) {
 		preds []Prediction
 	)
 	for job := range s.batches {
-		s.serveBatch(rep, job, &xs, &preds, false)
+		s.serveBatch(id, rep, job, &xs, &preds, false)
 		if s.life != nil && s.life.afterBatch(id, rep, len(job.reqs)) {
 			return // retired
 		}
@@ -468,7 +503,9 @@ func (s *Server) workLoop(id int, rep Replica) {
 // serveBatch executes one dispatched batch on a replica, retrying
 // failed runs up to Config.MaxRetries with doubling backoff, then
 // answers every request. Scratch slices live with the calling loop.
-func (s *Server) serveBatch(rep Replica, job batchJob, xsp *[]*tensor.Float, predsp *[]Prediction, viaFallback bool) {
+// worker is the executing worker's id (-1 for the fallback replica) —
+// the trace attributes the batch to its track.
+func (s *Server) serveBatch(worker int, rep Replica, job batchJob, xsp *[]*tensor.Float, predsp *[]Prediction, viaFallback bool) {
 	batch := job.reqs
 	dispatched := time.Now()
 	xs := (*xsp)[:0]
@@ -485,17 +522,26 @@ func (s *Server) serveBatch(rep Replica, job batchJob, xsp *[]*tensor.Float, pre
 	err := runReplica(rep, xs, preds)
 	for attempt := 0; err != nil && attempt < s.cfg.MaxRetries; attempt++ {
 		s.metrics.retries.Add(1)
+		if s.tr != nil {
+			s.tr.retry(worker, job.seq, attempt+1)
+		}
 		if s.cfg.RetryBackoff > 0 {
 			time.Sleep(s.cfg.RetryBackoff << attempt)
 		}
 		err = runReplica(rep, xs, preds)
 	}
 	if err == nil && s.cfg.Pricer != nil {
-		s.cfg.Pricer.price(len(batch))
+		br := s.cfg.Pricer.price(len(batch))
+		if s.tr != nil {
+			s.tr.price(job.seq, len(batch), br)
+		}
 	}
 	drain := s.life != nil && (viaFallback || s.life.inDrain())
 	done := time.Now()
 	s.metrics.batchServed(len(batch), err == nil)
+	if s.tr != nil {
+		s.tr.batch(worker, job.seq, dispatched, done.Sub(dispatched).Nanoseconds(), len(batch), viaFallback)
+	}
 	for i, r := range batch {
 		lat := done.Sub(r.enq).Nanoseconds()
 		if err != nil {
@@ -506,12 +552,17 @@ func (s *Server) serveBatch(rep Replica, job batchJob, xsp *[]*tensor.Float, pre
 		if drain {
 			s.metrics.observeDrainLatency(lat)
 		}
+		queueNs := dispatched.Sub(r.enq).Nanoseconds()
+		if s.tr != nil {
+			s.tr.request(r.id, r.enq, lat, queueNs, job.seq)
+		}
 		r.reply <- Reply{Result: Result{
+			RequestID: r.id,
 			Class:     preds[i].Class,
 			Logits:    preds[i].Logits,
 			BatchSize: len(batch),
 			BatchSeq:  job.seq,
-			QueueNs:   dispatched.Sub(r.enq).Nanoseconds(),
+			QueueNs:   queueNs,
 			LatencyNs: lat,
 		}}
 	}

@@ -59,15 +59,15 @@ type bulkXfer struct {
 // engineStage is one executable pipeline stage.
 type engineStage struct {
 	name      string
-	serviceNs float64 // tile-resident time per sample (analog+digital+SYNC)
-	sendLatNs float64 // head latency of the output transfer
-	sendSerNs float64 // per-link serialization occupancy of the transfer
-	chipSerNs float64 // chip-port occupancy (0 when the send stays on-node)
-	tiles     []int   // global tile footprint owned by the stage
-	links     []linkKey // mesh links of the forward anchor→anchor route
-	chipPorts []int     // nodes whose chip ports the forward route occupies
+	serviceNs float64    // tile-resident time per sample (analog+digital+SYNC)
+	sendLatNs float64    // head latency of the output transfer
+	sendSerNs float64    // per-link serialization occupancy of the transfer
+	chipSerNs float64    // chip-port occupancy (0 when the send stays on-node)
+	tiles     []int      // global tile footprint owned by the stage
+	links     []linkKey  // mesh links of the forward anchor→anchor route
+	chipPorts []int      // nodes whose chip ports the forward route occupies
 	bulk      []bulkXfer // gather + scatter drain traffic
-	conflicts []int // indices of other stages sharing a tile with this one
+	conflicts []int      // indices of other stages sharing a tile with this one
 }
 
 // busySpan is one booked occupancy of an interconnect resource.
@@ -221,6 +221,9 @@ type Engine struct {
 	drainReady []float64 // when each stage's previous drain completes
 	// cursor state for the incremental sample scheduler.
 	linkWaitNs float64
+	// tr is the optional trace emission state (trace.go); nil when
+	// tracing is disabled, which keeps runSample branch-cheap.
+	tr *engineTrace
 }
 
 // NewEngine lowers a compiled model into pipeline stages. The embedded
@@ -484,6 +487,9 @@ func (e *Engine) resetLocal() {
 		e.drainReady[i] = 0
 	}
 	e.linkWaitNs = 0
+	if e.tr != nil {
+		e.tr.seq = 0
+	}
 }
 
 // resetRun clears the per-run scheduling state.
@@ -500,6 +506,12 @@ func (e *Engine) resetRun() {
 // stage's next sample instead of blocking this one.
 func (e *Engine) runSample(fb *fabricClock) float64 {
 	t := 0.0 // completion time of the previous stage for this sample
+	tr := e.tr
+	var seq int64
+	if tr != nil {
+		seq = tr.seq
+		tr.seq++
+	}
 	for si := range e.stages {
 		st := &e.stages[si]
 		// Back-pressure: the tiles' drain of the previous sample must
@@ -511,9 +523,16 @@ func (e *Engine) runSample(fb *fabricClock) float64 {
 		computeDone := start + st.serviceNs
 		e.tileFree[si] = computeDone
 		e.busyNs[si] += st.serviceNs
+		if tr != nil {
+			tr.traceStage(si, seq, start, st.serviceNs)
+		}
 		sendStart := computeDone
 		if len(st.links)+len(st.chipPorts) > 0 {
 			sendStart = fb.fwd.bookXfer(computeDone, st.links, st.chipPorts, st.sendSerNs, st.chipSerNs)
+			if tr != nil {
+				tr.traceXfer(si, seq, computeDone, sendStart, st.sendSerNs, st.chipSerNs,
+					st.links, st.chipPorts, tr.fwdLink, tr.fwdPort, tr.waitNm)
+			}
 		}
 		e.linkWaitNs += sendStart - computeDone
 		drainEnd := computeDone
@@ -521,9 +540,16 @@ func (e *Engine) runSample(fb *fabricClock) float64 {
 			bs := fb.bulk.bookXfer(computeDone, bt.links, bt.ports, bt.serNs, st.chipSerNs)
 			e.linkWaitNs += bs - computeDone
 			drainEnd = math.Max(drainEnd, bs+bt.serNs)
+			if tr != nil {
+				tr.traceXfer(si, seq, computeDone, bs, bt.serNs, st.chipSerNs,
+					bt.links, bt.ports, tr.bulkLink, tr.bulkPort, tr.drainNm)
+			}
 		}
 		e.drainReady[si] = drainEnd
 		t = sendStart + st.sendLatNs
+	}
+	if tr != nil {
+		tr.traceDone(seq, t)
 	}
 	return t
 }
@@ -596,6 +622,7 @@ func (e *Engine) RunBatches(bs []int) ([]*BatchResult, error) {
 			for _, i := range idxs {
 				out[i] = r
 			}
+			e.traceMeta(sample+1, t)
 		}
 	}
 	return out, nil

@@ -117,10 +117,15 @@ func (es *EngineSet) RunSet(b int) (*SetResult, error) {
 	if b < 1 {
 		return nil, fmt.Errorf("sim: batch size %d must be ≥ 1", b)
 	}
-	// Isolated baselines first (each on a private fabric clock).
+	// Isolated baselines first (each on a private fabric clock). These
+	// run untraced — the exported timeline is the co-located schedule,
+	// not three schedules overlaid on the same time axis.
 	iso := make([]*BatchResult, len(es.engines))
 	for i, e := range es.engines {
+		tr := e.tr
+		e.tr = nil
 		br, err := e.RunBatch(b)
+		e.tr = tr
 		if err != nil {
 			return nil, err
 		}
@@ -174,5 +179,6 @@ func (es *EngineSet) RunSet(b int) (*SetResult, error) {
 	if sumX2 > 0 {
 		out.FairnessJain = sumX * sumX / (n * sumX2)
 	}
+	es.traceMeta(out)
 	return out, nil
 }
