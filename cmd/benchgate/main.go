@@ -11,8 +11,10 @@
 // fixed integer workload that tracks host speed. A benchmark fails the
 // gate when its calibration-normalized time exceeds the baseline's by
 // more than -tolerance (default 10%). Allocations need no
-// normalization: a benchmark whose baseline is 0 allocs/op must stay at
-// 0 — the zero-alloc contracts of the hot paths are part of the gate.
+// normalization or tolerance — counts are deterministic — so any
+// allocs/op above the baseline fails: a 0 baseline is a zero-alloc
+// contract (the hot paths), and growth over a nonzero baseline is a
+// real regression.
 // With -count > 1 the minimum across repetitions is compared, which
 // filters scheduler noise on shared CI runners.
 package main
@@ -178,9 +180,13 @@ func run(args []string, out io.Writer) error {
 				e.Name, (rel-1)*100, *tolerance*100))
 		}
 		fmt.Fprintf(out, "  %-60s %10.0f ns/op  %+7.1f%% %s\n", e.Name, cur.ns, (rel-1)*100, status)
-		if e.AllocsPerOp == 0 && cur.allocs > 0 {
-			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline pins 0", e.Name, cur.allocs))
-			fmt.Fprintf(out, "  %-60s %10d allocs/op, want 0 FAIL\n", e.Name, cur.allocs)
+		// Allocation counts are deterministic (no normalization, no
+		// tolerance): a 0 baseline is a zero-alloc contract, and any
+		// growth over a nonzero baseline is a real regression. Baselines
+		// of -1 (recorded without -benchmem) are never alloc-gated.
+		if e.AllocsPerOp >= 0 && cur.allocs > e.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline pins %d", e.Name, cur.allocs, e.AllocsPerOp))
+			fmt.Fprintf(out, "  %-60s %10d allocs/op, want ≤ %d FAIL\n", e.Name, cur.allocs, e.AllocsPerOp)
 		}
 	}
 	if len(failures) > 0 {

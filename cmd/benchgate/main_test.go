@@ -117,11 +117,19 @@ func TestGateFlagsNewAllocations(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("new allocations not flagged: %v\n%s", err, out.String())
 	}
-	// A noisy alloc count on an already-allocating benchmark is NOT gated.
-	noisy := strings.Replace(sampleBench, "12 allocs/op", "20 allocs/op", 1)
+	// Alloc growth on an already-allocating benchmark is gated too:
+	// counts are deterministic, so any increase is a real regression.
+	grown := strings.Replace(sampleBench, "12 allocs/op", "20 allocs/op", 1)
 	out.Reset()
-	if err := run([]string{"-baseline", baseline, writeFile(t, dir, "noisy.out", noisy)}, &out); err != nil {
-		t.Fatalf("allocating benchmark alloc noise flagged: %v\n%s", err, out.String())
+	err = run([]string{"-baseline", baseline, writeFile(t, dir, "grown.out", grown)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkModel/big") {
+		t.Fatalf("alloc growth over nonzero baseline not flagged: %v\n%s", err, out.String())
+	}
+	// Shrinking alloc counts pass (headroom to re-baseline).
+	fewer := strings.Replace(sampleBench, "12 allocs/op", "7 allocs/op", 1)
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, writeFile(t, dir, "fewer.out", fewer)}, &out); err != nil {
+		t.Fatalf("alloc improvement flagged: %v\n%s", err, out.String())
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
@@ -136,13 +137,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	var sp *compiler.SearchPlacer
+	var pe *sim.PlacementEvaluator
 	if placer == nil {
 		sb := search.Batch
 		if sb == 0 {
 			sb = *batch
 		}
-		pe, err := s.PlacementEvaluator(sb)
-		if err != nil {
+		if pe, err = s.PlacementEvaluator(sb); err != nil {
 			return err
 		}
 		sp, err = compiler.NewSearchPlacer(m, cfg, d, pe, compiler.SearchOptions{Steps: search.Steps, Seed: search.Seed, Trace: candRec})
@@ -151,7 +152,9 @@ func run(args []string, out io.Writer) error {
 		}
 		placer = sp
 	}
+	searchStart := time.Now()
 	c, err := compiler.CompileWith(m, cfg, d, compiler.Options{Placer: placer})
+	searchDur := time.Since(searchStart)
 	if err != nil {
 		return err
 	}
@@ -201,6 +204,15 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "  search:               %d evals over %d rounds, %d accepted; best from %s (%s), objective %.0f inf/s\n",
 			st.Steps, st.Rounds, st.Accepted, st.BestFrom, improved, st.BestScore)
+		if pe != nil {
+			ec := pe.Counters()
+			rate := 0.0
+			if searchDur > 0 {
+				rate = float64(st.Steps) / searchDur.Seconds()
+			}
+			fmt.Fprintf(out, "  search eval:          %.0f candidates/s, cache hit %.1f%%, engine reuse %.1f%% (%d engine runs)\n",
+				rate, 100*ec.HitRate(), 100*ec.PoolReuseRate(), ec.Computes)
+		}
 	}
 	if lc, err := sim.WeightLoadCost(c, cfg); err == nil {
 		fmt.Fprintf(out, "  weight load (once):   %.2f us, %.2f uJ for %d writes\n",
@@ -416,8 +428,9 @@ func runSearchCoLocation(out io.Writer, names []string, designName string, cfg a
 		r.AggregatePerSec, r.FairnessJain, r.InterferenceWaitNs/1e3, r.MakespanNs/1e3)
 	for _, ms := range msearch {
 		st := ms.Stats
-		fmt.Fprintf(out, "  search %-8s %d evals, %d accepted, best from %s, set objective %.0f\n",
-			ms.Model, st.Steps, st.Accepted, st.BestFrom, st.BestScore)
+		fmt.Fprintf(out, "  search %-8s %d evals, %d accepted, best from %s, set objective %.0f (cache hit %.1f%%, engine reuse %.1f%%)\n",
+			ms.Model, st.Steps, st.Accepted, st.BestFrom, st.BestScore,
+			100*ms.Eval.HitRate(), 100*ms.Eval.PoolReuseRate())
 	}
 	return nil
 }

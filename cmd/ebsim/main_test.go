@@ -112,6 +112,9 @@ func TestSearchPlacerDrillDown(t *testing.T) {
 		"search:",
 		"best from",
 		"objective",
+		"search eval:",
+		"candidates/s",
+		"engine reuse",
 	} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("search drill-down missing %q:\n%s", frag, out)
@@ -126,6 +129,8 @@ func TestSearchCoLocationDrillDown(t *testing.T) {
 		"placer search",
 		"set objective",
 		"fairness",
+		"cache hit",
+		"engine reuse",
 	} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("search co-location missing %q:\n%s", frag, out)

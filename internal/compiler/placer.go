@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"einsteinbarrier/internal/arch"
@@ -217,28 +218,54 @@ func (p *Placement) TotalTiles(cfg arch.Config) int {
 // The placer name is deliberately excluded: a mesh layout replayed by
 // the search placer is the same physical layout.
 func (p *Placement) Fingerprint() string {
-	var sb strings.Builder
+	// Fingerprinting runs once per candidate inside placement search —
+	// assembled with strconv appends into one buffer (no fmt verbs, one
+	// final allocation). The format is pinned byte-for-byte by
+	// TestFingerprintFormatPinned.
 	r := p.Region
-	fmt.Fprintf(&sb, "r%d+%d:%d,%d,%dx%d", r.Chip, r.Chips, r.X0, r.Y0, r.W, r.H)
+	n := 24
+	for _, lp := range p.Layers {
+		n += 1 + len(lp.Shards) * 8
+		for _, sh := range lp.Shards {
+			n += 4 * len(sh.Tiles)
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, 'r')
+	buf = strconv.AppendInt(buf, int64(r.Chip), 10)
+	buf = append(buf, '+')
+	buf = strconv.AppendInt(buf, int64(r.Chips), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(r.X0), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.Y0), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.W), 10)
+	buf = append(buf, 'x')
+	buf = strconv.AppendInt(buf, int64(r.H), 10)
 	if p.Exact {
-		sb.WriteByte('!')
+		buf = append(buf, '!')
 	}
 	for _, lp := range p.Layers {
-		sb.WriteByte('|')
+		buf = append(buf, '|')
 		for si, sh := range lp.Shards {
 			if si > 0 {
-				sb.WriteByte('+')
+				buf = append(buf, '+')
 			}
-			fmt.Fprintf(&sb, "n%d@%d:", sh.Chip, sh.VCores)
+			buf = append(buf, 'n')
+			buf = strconv.AppendInt(buf, int64(sh.Chip), 10)
+			buf = append(buf, '@')
+			buf = strconv.AppendInt(buf, int64(sh.VCores), 10)
+			buf = append(buf, ':')
 			for ti, t := range sh.Tiles {
 				if ti > 0 {
-					sb.WriteByte(',')
+					buf = append(buf, ',')
 				}
-				fmt.Fprintf(&sb, "%d", t)
+				buf = strconv.AppendInt(buf, int64(t), 10)
 			}
 		}
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // String renders one line per layer.

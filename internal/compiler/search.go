@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"einsteinbarrier/internal/arch"
 	"einsteinbarrier/internal/bnn"
@@ -57,6 +58,18 @@ type Evaluator interface {
 	Score(c *Compiled) (float64, error)
 }
 
+// CachedEvaluator is an Evaluator that can report a previously priced
+// layout's score from the placement fingerprint alone — letting the
+// search placer skip candidate compilation entirely on revisits (a
+// border shift clamping back to the incumbent, an annealing walk
+// retracing itself). CachedScore must return exactly what Score
+// returned for the same layout, or report a miss; both sim evaluators
+// implement it over their fingerprint memos.
+type CachedEvaluator interface {
+	Evaluator
+	CachedScore(model string, design arch.Design, p *Placement) (float64, bool)
+}
+
 // SearchOptions parameterizes the annealing placer.
 type SearchOptions struct {
 	// Steps is the candidate-evaluation budget (0 = DefaultSearchSteps).
@@ -105,10 +118,11 @@ type SearchStats struct {
 // it is bound to one (model, config, design) because it compiles
 // candidates itself through the hoisted lowering prefix.
 type SearchPlacer struct {
-	low   *Lowered
-	eval  Evaluator
-	opts  SearchOptions
-	stats SearchStats
+	low    *Lowered
+	eval   Evaluator
+	cached CachedEvaluator // eval, when it supports fingerprint probes
+	opts   SearchOptions
+	stats  SearchStats
 }
 
 // NewSearchPlacer binds the search to a model, architecture, design and
@@ -131,7 +145,9 @@ func NewSearchPlacer(model *bnn.Model, cfg arch.Config, design arch.Design, eval
 	if err != nil {
 		return nil, err
 	}
-	return &SearchPlacer{low: lw, eval: eval, opts: opts}, nil
+	sp := &SearchPlacer{low: lw, eval: eval, opts: opts}
+	sp.cached, _ = eval.(CachedEvaluator)
+	return sp, nil
 }
 
 // Name implements Placer.
@@ -208,18 +224,42 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 		prop := rand.New(rand.NewSource(sp.opts.Seed))
 		acc := rand.New(rand.NewSource(sp.opts.Seed ^ 0x5851f42d4c957f2d))
 		rounds := (sp.opts.Steps + searchRound - 1) / searchRound
+		// Genotype memo for this Place call: decode and score are pure
+		// functions of the genotype (region and cfg are fixed), so a
+		// revisited genotype — clamped border shifts re-proposing the
+		// incumbent, the walk retracing itself — reuses its result without
+		// even decoding. The RNG schedule is untouched: proposals and
+		// acceptance draws happen for every candidate regardless of hits.
+		memo := map[string]scored{}
+		cands := make([]genotype, searchRound)
+		keys := make([]string, searchRound)
+		results := make([]scored, searchRound)
+		hit := make([]bool, searchRound)
 		for round := 0; round < rounds; round++ {
 			frac := 0.0
 			if rounds > 1 {
 				frac = float64(round) / float64(rounds-1)
 			}
 			temp := searchT0 * math.Pow(searchTEnd/searchT0, frac)
-			cands := make([]genotype, searchRound)
+			// Misses are deduplicated within the round too (two mutations
+			// can propose the same neighbor), then scored in parallel.
+			miss := make(map[string]int, searchRound)
+			var missCands []genotype
 			for i := range cands {
 				cands[i] = mutate(cur, movable, region, prop)
+				keys[i] = genoKey(cands[i], movable)
+				if s, ok := memo[keys[i]]; ok {
+					results[i], hit[i] = s, true
+					continue
+				}
+				hit[i] = false
+				if _, ok := miss[keys[i]]; !ok {
+					miss[keys[i]] = len(missCands)
+					missCands = append(missCands, cands[i])
+				}
 			}
-			results, err := infer.Map(sp.opts.Workers, searchRound, func(_, i int) (scored, error) {
-				p, derr := sp.decode(cands[i], region, cfg)
+			missRes, err := infer.Map(sp.opts.Workers, len(missCands), func(_, i int) (scored, error) {
+				p, derr := sp.decode(missCands[i], region, cfg)
 				if derr != nil {
 					return scored{score: math.Inf(-1)}, nil
 				}
@@ -227,6 +267,12 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 			})
 			if err != nil {
 				return nil, err
+			}
+			for i := range cands {
+				if !hit[i] {
+					results[i] = missRes[miss[keys[i]]]
+					memo[keys[i]] = results[i]
+				}
 			}
 			st.Rounds++
 			st.Steps += searchRound
@@ -267,6 +313,14 @@ func (sp *SearchPlacer) Place(layers []LayerDemand, cfg arch.Config, region Regi
 // prices it. Compile errors mean the candidate is infeasible (scored
 // -Inf, never accepted); evaluator errors are real failures.
 func (sp *SearchPlacer) score(p *Placement, region Region) (scored, error) {
+	// A fingerprint the evaluator has already priced skips compilation
+	// outright: the probe returns the memoized objective, which is by
+	// contract exactly what compiling and scoring again would produce.
+	if sp.cached != nil {
+		if v, ok := sp.cached.CachedScore(sp.low.ModelName, sp.low.Design, p); ok {
+			return scored{p: p, score: v, valid: true}, nil
+		}
+	}
 	c, err := sp.low.Compile(Options{Placer: fixedPlacer{p}, Region: &region})
 	if err != nil {
 		return scored{p: p, score: math.Inf(-1)}, nil
@@ -307,6 +361,27 @@ type layerGene struct {
 }
 
 type genotype []layerGene
+
+// genoKey packs the movable genes into a compact memo key. Fixed genes
+// never change across candidates of one Place call and tile/vcore
+// counts are layer constants, so the movable rectangles (chip, origin,
+// dims) identify the genotype completely.
+func genoKey(g genotype, movable []int) string {
+	buf := make([]byte, 0, 12*len(movable))
+	for _, i := range movable {
+		buf = strconv.AppendInt(buf, int64(g[i].chip), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(g[i].x), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(g[i].y), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(g[i].w), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(g[i].h), 10)
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
 
 // movableIndices lists the genes the neighborhood moves may touch.
 func movableIndices(g genotype) []int {
@@ -358,7 +433,12 @@ func encodeGenotype(p *Placement, cfg arch.Config) genotype {
 // off the region or a partial mesh row are errors (scored -Inf).
 func (sp *SearchPlacer) decode(g genotype, region Region, cfg arch.Config) (*Placement, error) {
 	w := cfg.MeshWidth()
-	p := &Placement{Placer: "search", Region: region, Exact: true}
+	p := &Placement{Placer: "search", Region: region, Exact: true,
+		Layers: make([]LayerPlace, 0, len(g))}
+	// One block of shard headers for the whole placement; the capped
+	// three-index subslices keep a later append on one layer's Shards
+	// from clobbering a neighbour's.
+	shards := make([]Shard, 0, len(g))
 	for _, gene := range g {
 		if gene.fixed {
 			p.Layers = append(p.Layers, LayerPlace{Name: gene.name, Shards: gene.shards})
@@ -370,6 +450,9 @@ func (sp *SearchPlacer) decode(g genotype, region Region, cfg arch.Config) (*Pla
 			return nil, fmt.Errorf("compiler: search candidate rect for %s outside region %s", gene.name, region)
 		}
 		sh := Shard{Chip: region.Chip + gene.chip, VCores: gene.vcores}
+		if gene.tiles > 0 {
+			sh.Tiles = make([]int, 0, gene.tiles)
+		}
 		for i := 0; i < gene.tiles; i++ {
 			x := gene.x + i%gene.w
 			y := gene.y + i/gene.w
@@ -379,7 +462,9 @@ func (sp *SearchPlacer) decode(g genotype, region Region, cfg arch.Config) (*Pla
 			}
 			sh.Tiles = append(sh.Tiles, t)
 		}
-		p.Layers = append(p.Layers, LayerPlace{Name: gene.name, Shards: []Shard{sh}})
+		shards = append(shards, sh)
+		k := len(shards) - 1
+		p.Layers = append(p.Layers, LayerPlace{Name: gene.name, Shards: shards[k : k+1 : k+1]})
 	}
 	return p, nil
 }
@@ -408,7 +493,7 @@ func mutate(cur genotype, movable []int, region Region, rng *rand.Rand) genotype
 		g[i].y = clampInt(g[i].y+d[1], 0, region.H-g[i].h)
 	case 1: // reshape: same tile count, new width from the valid set
 		i := movable[rng.Intn(len(movable))]
-		var widths []int
+		widths := make([]int, 0, min(g[i].tiles, region.W))
 		for w := 1; w <= min(g[i].tiles, region.W); w++ {
 			if (g[i].tiles+w-1)/w <= region.H {
 				widths = append(widths, w)

@@ -23,6 +23,9 @@ import (
 type ModelSearch struct {
 	Model string               `json:"model"`
 	Stats compiler.SearchStats `json:"stats"`
+	// Eval is the slot evaluator's perf accounting: cache hits,
+	// singleflight collapses and engine-set pool reuse.
+	Eval sim.EvalCounters `json:"eval"`
 }
 
 // SearchCoLocate co-locates the named models like CoLocate with the
@@ -86,7 +89,7 @@ func SearchCoLocate(cfg Config, names []string, d arch.Design, batch int) ([]*co
 			return nil, nil, nil, fmt.Errorf("eval: %s/search: %w", m.Name(), err)
 		}
 		cs[i] = c
-		trace = append(trace, ModelSearch{Model: m.Name(), Stats: sp.Stats()})
+		trace = append(trace, ModelSearch{Model: m.Name(), Stats: sp.Stats(), Eval: se.Counters()})
 	}
 	es, err := simulator.NewEngineSet(cs)
 	if err != nil {

@@ -214,6 +214,9 @@ func NewPricer(eng *sim.Engine) (*Pricer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Engine results are recycled by the engine's next run; the memo
+	// keeps pricer-owned clones.
+	br = br.Clone()
 	return &Pricer{
 		eng:       eng,
 		memo:      map[int]*sim.BatchResult{1: br},
@@ -237,6 +240,7 @@ func (p *Pricer) price(b int) *sim.BatchResult {
 		if err != nil {
 			return nil // unreachable for b ≥ 1; keep the serving path alive
 		}
+		br = br.Clone()
 		p.memo[b] = br
 	}
 	p.batches++

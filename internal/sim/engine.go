@@ -33,6 +33,15 @@ import (
 // for its serialization time, which is what makes sloppy layouts (and
 // co-located neighbours, see engineset.go) measurably slower.
 //
+// The engine is the inner loop of placement search and online serving,
+// so its scheduling state is built for reuse: every interconnect
+// resource gets a dense index into one shared span arena (no map
+// lookups on the hot path, reset is a length truncation), bookings use
+// an append-mostly calendar (samples book in near-monotone order), the
+// per-run BatchResults come from an engine-owned pool, and Reprice
+// swaps in a new compilation without reconstructing the engine. See
+// DESIGN.md "Engine internals".
+//
 // This goes beyond the paper's latency-only evaluation and is
 // documented as an extension in DESIGN.md.
 
@@ -56,7 +65,10 @@ type bulkXfer struct {
 	serNs float64
 }
 
-// engineStage is one executable pipeline stage.
+// engineStage is one executable pipeline stage. The linkKey/port slices
+// name the resources (trace registration, bottleneck attribution); the
+// scheduler itself books through the dense indices of the engine's
+// binding, never these keys.
 type engineStage struct {
 	name      string
 	serviceNs float64    // tile-resident time per sample (analog+digital+SYNC)
@@ -73,104 +85,150 @@ type engineStage struct {
 // busySpan is one booked occupancy of an interconnect resource.
 type busySpan struct{ s, e float64 }
 
-// resClock is the booking calendar of one resource: busy intervals
-// sorted by start. Samples are scheduled sequentially but their
-// transfers are not in global time order (an early stage of sample s+1
-// fires long before the last stage of sample s), so a scalar free-time
-// would serialize transfers that never actually overlap; the calendar
-// books the earliest window that is genuinely free.
-type resClock struct {
-	spans []busySpan
+// vcCal holds the booking calendars of ONE virtual channel: every
+// resource (mesh link or chip port) owns a segment of one shared span
+// arena, found by its dense index. Samples are scheduled sequentially
+// but their transfers are not in global time order (an early stage of
+// sample s+1 fires long before the last stage of sample s), so a scalar
+// free-time would serialize transfers that never actually overlap; the
+// calendar books the earliest window that is genuinely free.
+//
+// The arena is sized exactly: each admitted sample books each resource
+// perSample[r] times (a static property of the bound stage routes), so
+// a run of B samples needs perSample[r]×B spans — carved contiguously
+// per resource, no per-booking allocation, and reset is a memclr of the
+// fill counters.
+type vcCal struct {
+	arena     []busySpan
+	off       []int // resource → segment start in arena
+	segCap    []int // resource → segment capacity (perSample × sized)
+	n         []int // resource → spans booked this run
+	perSample []int // resource → bookings per admitted sample (all bound engines)
+	sized     int   // samples the current layout accommodates
+	dirty     bool  // perSample changed since the last layout
 }
 
-// earliestFree returns the first start ≥ tc where the resource is free
+// grow registers room for resource index r.
+func (c *vcCal) grow(r int) {
+	for len(c.perSample) <= r {
+		c.off = append(c.off, 0)
+		c.segCap = append(c.segCap, 0)
+		c.n = append(c.n, 0)
+		c.perSample = append(c.perSample, 0)
+	}
+}
+
+// beginCount zeroes the per-sample booking counts ahead of a reseal.
+func (c *vcCal) beginCount() {
+	clear(c.perSample)
+	c.dirty = true
+}
+
+// ensure lays the arena out for runs of up to b samples. Layout is
+// recomputed only when the booking counts changed (reseal) or b grew;
+// the arena reallocates only when the total span count exceeds its
+// capacity.
+func (c *vcCal) ensure(b int) {
+	if !c.dirty && b <= c.sized {
+		return
+	}
+	if b < c.sized {
+		b = c.sized // never shrink: RunBatches sweeps reuse one layout
+	}
+	total := 0
+	for r, ps := range c.perSample {
+		c.off[r] = total
+		c.segCap[r] = ps * b
+		total += ps * b
+	}
+	if total > cap(c.arena) {
+		c.arena = make([]busySpan, total)
+	} else {
+		c.arena = c.arena[:total]
+	}
+	c.sized = b
+	c.dirty = false
+}
+
+// reset starts a new run: every calendar becomes empty by truncation.
+func (c *vcCal) reset() {
+	clear(c.n)
+}
+
+// earliestFree returns the first start ≥ tc where resource r is free
 // for dur.
-func (r *resClock) earliestFree(tc, dur float64) float64 {
+func (c *vcCal) earliestFree(r int32, tc, dur float64) float64 {
+	seg := c.arena[c.off[r] : c.off[r]+c.n[r]]
 	// Binary search for the first span that could overlap [tc, tc+dur).
-	lo, hi := 0, len(r.spans)
+	lo, hi := 0, len(seg)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if r.spans[mid].e <= tc {
+		if seg[mid].e <= tc {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	start := tc
-	for i := lo; i < len(r.spans); i++ {
-		if r.spans[i].s >= start+dur {
+	for i := lo; i < len(seg); i++ {
+		if seg[i].s >= start+dur {
 			break
 		}
-		if r.spans[i].e > start {
-			start = r.spans[i].e
+		if seg[i].e > start {
+			start = seg[i].e
 		}
 	}
 	return start
 }
 
-// book inserts [start, start+dur) into the calendar.
-func (r *resClock) book(start, dur float64) {
-	lo, hi := 0, len(r.spans)
+// book inserts [start, start+dur) into resource r's calendar. The
+// insertion hint is the segment tail: bookings arrive in near-monotone
+// start order (sample after sample), so the common case is a pure
+// append; an out-of-order booking (an early-stage transfer of the next
+// sample landing before a late-stage one already booked) falls back to
+// binary search + shift within the segment.
+func (c *vcCal) book(r int32, start, dur float64) {
+	o, n := c.off[r], c.n[r]
+	if n == c.segCap[r] {
+		panic("sim: calendar segment overflow — booking count exceeded the sealed per-sample sizing")
+	}
+	seg := c.arena[o : o+n]
+	if n == 0 || start >= seg[n-1].s {
+		c.arena[o+n] = busySpan{s: start, e: start + dur}
+		c.n[r] = n + 1
+		return
+	}
+	lo, hi := 0, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if r.spans[mid].s < start {
+		if seg[mid].s < start {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	r.spans = append(r.spans, busySpan{})
-	copy(r.spans[lo+1:], r.spans[lo:])
-	r.spans[lo] = busySpan{s: start, e: start + dur}
-}
-
-// vcClock is one virtual channel's booking state: a calendar per link
-// and per chip port.
-type vcClock struct {
-	links map[linkKey]*resClock
-	chips map[int]*resClock
-}
-
-func newVCClock() *vcClock {
-	return &vcClock{links: make(map[linkKey]*resClock), chips: make(map[int]*resClock)}
-}
-
-func (f *vcClock) reset() {
-	clear(f.links)
-	clear(f.chips)
-}
-
-func (f *vcClock) link(k linkKey) *resClock {
-	r := f.links[k]
-	if r == nil {
-		r = &resClock{}
-		f.links[k] = r
-	}
-	return r
-}
-
-func (f *vcClock) chip(n int) *resClock {
-	r := f.chips[n]
-	if r == nil {
-		r = &resClock{}
-		f.chips[n] = r
-	}
-	return r
+	copy(c.arena[o+lo+1:o+n+1], c.arena[o+lo:o+n])
+	c.arena[o+lo] = busySpan{s: start, e: start + dur}
+	c.n[r] = n + 1
 }
 
 // bookXfer books one transfer on the channel: the earliest window at or
 // after ready in which every link and port is simultaneously free.
 // Returns the booked start. The fixed point terminates because every
 // retry jumps past some already-booked interval.
-func (f *vcClock) bookXfer(ready float64, links []linkKey, ports []int, serNs, portNs float64) float64 {
+func (c *vcCal) bookXfer(ready float64, links, ports []int32, serNs, portNs float64) float64 {
 	start := ready
 	for {
 		next := start
 		for _, l := range links {
-			next = math.Max(next, f.link(l).earliestFree(next, serNs))
+			if f := c.earliestFree(l, next, serNs); f > next {
+				next = f
+			}
 		}
 		for _, p := range ports {
-			next = math.Max(next, f.chip(p).earliestFree(next, portNs))
+			if f := c.earliestFree(p, next, portNs); f > next {
+				next = f
+			}
 		}
 		if next == start {
 			break
@@ -178,12 +236,49 @@ func (f *vcClock) bookXfer(ready float64, links []linkKey, ports []int, serNs, p
 		start = next
 	}
 	for _, l := range links {
-		f.link(l).book(start, serNs)
+		c.book(l, start, serNs)
 	}
 	for _, p := range ports {
-		f.chip(p).book(start, portNs)
+		c.book(p, start, portNs)
 	}
 	return start
+}
+
+// vcSpace is one virtual channel's resource index space: the maps
+// assign each link/chip-port a dense index into the channel's calendar.
+// The maps are touched only when a compilation binds (NewEngine,
+// Reprice, Swap), never on the scheduling hot path; indices are sticky,
+// so rebinding a different placement reuses the space and only new
+// resources register.
+type vcSpace struct {
+	linkIdx map[linkKey]int32
+	chipIdx map[int]int32
+	cal     vcCal
+}
+
+func (v *vcSpace) init() {
+	v.linkIdx = map[linkKey]int32{}
+	v.chipIdx = map[int]int32{}
+}
+
+func (v *vcSpace) linkID(k linkKey) int32 {
+	if id, ok := v.linkIdx[k]; ok {
+		return id
+	}
+	id := int32(len(v.linkIdx) + len(v.chipIdx))
+	v.linkIdx[k] = id
+	v.cal.grow(int(id))
+	return id
+}
+
+func (v *vcSpace) chipID(n int) int32 {
+	if id, ok := v.chipIdx[n]; ok {
+		return id
+	}
+	id := int32(len(v.linkIdx) + len(v.chipIdx))
+	v.chipIdx[n] = id
+	v.cal.grow(int(id))
+	return id
 }
 
 // fabricClock is the shared booking state of the interconnect: the
@@ -192,35 +287,158 @@ func (f *vcClock) bookXfer(ready float64, links []linkKey, ports []int, serNs, p
 // occupancy + back-pressure only). Each Engine owns one for isolated
 // runs; an EngineSet hands the same clock to every co-located engine.
 type fabricClock struct {
-	fwd  *vcClock
-	bulk *vcClock
+	fwd  vcSpace
+	bulk vcSpace
 }
 
 func newFabricClock() *fabricClock {
-	return &fabricClock{fwd: newVCClock(), bulk: newVCClock()}
+	f := &fabricClock{}
+	f.fwd.init()
+	f.bulk.init()
+	return f
 }
 
 func (f *fabricClock) reset() {
-	f.fwd.reset()
-	f.bulk.reset()
+	f.fwd.cal.reset()
+	f.bulk.cal.reset()
+}
+
+// ensure sizes both channels' arenas for runs of up to b samples.
+func (f *fabricClock) ensure(b int) {
+	f.fwd.cal.ensure(b)
+	f.bulk.cal.ensure(b)
+}
+
+// seal recomputes the per-sample booking counts from the given bindings
+// (every engine bound to this clock must be listed — each admitted
+// sample of each engine books its stage routes exactly once).
+func (f *fabricClock) seal(binds ...*binding) {
+	f.fwd.cal.beginCount()
+	f.bulk.cal.beginCount()
+	for _, bd := range binds {
+		for i := range bd.st {
+			bs := &bd.st[i]
+			for _, l := range bs.fwdLinks {
+				f.fwd.cal.perSample[l]++
+			}
+			for _, p := range bs.fwdPorts {
+				f.fwd.cal.perSample[p]++
+			}
+			for bi := range bs.bulk {
+				bx := &bs.bulk[bi]
+				for _, l := range bx.links {
+					f.bulk.cal.perSample[l]++
+				}
+				for _, p := range bx.ports {
+					f.bulk.cal.perSample[p]++
+				}
+			}
+		}
+	}
+}
+
+// boundXfer is one bulk transfer resolved to dense calendar indices.
+type boundXfer struct {
+	links []int32
+	ports []int32
+	serNs float64
+}
+
+// boundStage is one stage's routes resolved against a fabric clock.
+type boundStage struct {
+	fwdLinks []int32
+	fwdPorts []int32
+	bulk     []boundXfer
+}
+
+// binding resolves an engine's stage routes to the dense resource
+// indices of one fabric clock. An engine always carries a binding to
+// its private clock; an EngineSet additionally binds every member to
+// the shared clock. Bindings are rebuilt (in place, allocation-reusing)
+// whenever the compilation or the clock changes.
+type binding struct {
+	fb *fabricClock
+	st []boundStage
+}
+
+// bindTo resolves the engine's routes against fb into bd, reusing bd's
+// slices.
+func (e *Engine) bindTo(fb *fabricClock, bd *binding) {
+	bd.fb = fb
+	if cap(bd.st) < len(e.stages) {
+		st := make([]boundStage, len(e.stages))
+		copy(st, bd.st)
+		bd.st = st
+	} else {
+		bd.st = bd.st[:len(e.stages)]
+	}
+	for i := range e.stages {
+		st := &e.stages[i]
+		bs := &bd.st[i]
+		bs.fwdLinks = bs.fwdLinks[:0]
+		bs.fwdPorts = bs.fwdPorts[:0]
+		for _, k := range st.links {
+			bs.fwdLinks = append(bs.fwdLinks, fb.fwd.linkID(k))
+		}
+		for _, p := range st.chipPorts {
+			bs.fwdPorts = append(bs.fwdPorts, fb.fwd.chipID(p))
+		}
+		if cap(bs.bulk) < len(st.bulk) {
+			bk := make([]boundXfer, len(st.bulk))
+			copy(bk, bs.bulk)
+			bs.bulk = bk
+		} else {
+			bs.bulk = bs.bulk[:len(st.bulk)]
+		}
+		for bi := range st.bulk {
+			bt := &st.bulk[bi]
+			bx := &bs.bulk[bi]
+			bx.links = bx.links[:0]
+			bx.ports = bx.ports[:0]
+			for _, k := range bt.links {
+				bx.links = append(bx.links, fb.bulk.linkID(k))
+			}
+			for _, p := range bt.ports {
+				bx.ports = append(bx.ports, fb.bulk.chipID(p))
+			}
+			bx.serNs = bt.serNs
+		}
+	}
 }
 
 // Engine schedules batches of inferences over the pipeline of one
-// compiled model. Build one with NewEngine; an Engine is immutable
-// after construction and safe for concurrent RunBatch calls only if
-// each caller uses its own Engine (RunBatch carries internal scratch).
+// compiled model. Build one with NewEngine; re-target it with Reprice.
+// An Engine carries internal scratch, so concurrent RunBatch calls need
+// one Engine per caller. Results returned by RunBatch/RunBatches are
+// engine-owned and recycled by the next run (or Reprice) — callers that
+// retain one across runs must Clone it.
 type Engine struct {
+	sim       *Simulator
 	res       *Result
 	stages    []engineStage
 	mesh      noc.Config
 	placement *compiler.Placement
 	fb        *fabricClock // private clock for isolated runs
+	priv      binding      // this engine's binding to fb
 	// scratch reused across RunBatch calls.
 	tileFree   []float64
 	busyNs     []float64
 	drainReady []float64 // when each stage's previous drain completes
 	// cursor state for the incremental sample scheduler.
 	linkWaitNs float64
+	// result pool: snapshot hands out recycled BatchResults so a
+	// steady-state RunBatch allocates nothing.
+	results   []*BatchResult
+	resUsed   int
+	bsScratch [1]int
+	brScratch [1]*BatchResult
+	// construction scratch reused across Reprice calls.
+	lb          *linkBuilder
+	tileScratch map[int]bool
+	// steady-state bottleneck, precomputed at configure time (static
+	// per compilation) so snapshot stays allocation-free.
+	bneckNs   float64
+	bneckName string
 	// tr is the optional trace emission state (trace.go); nil when
 	// tracing is disabled, which keeps runSample branch-cheap.
 	tr *engineTrace
@@ -230,60 +448,100 @@ type Engine struct {
 // single-inference Result is priced by the same pass Run uses, so
 // Latency/Energy/Counters are bit-identical to the serial simulator.
 func (s *Simulator) NewEngine(c *compiler.Compiled) (*Engine, error) {
+	e := &Engine{sim: s, fb: newFabricClock()}
+	if err := e.configure(c); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reprice re-targets the engine at a new compilation, reusing the stage
+// slices, calendars and result pool — the cheap path for evaluators
+// that price many candidates of the same model. The engine behaves
+// bit-identically to a fresh NewEngine on the same compilation (pinned
+// by TestRepriceMatchesNewEngine). Tracing is detached (the registered
+// tracks belong to the old compilation); on error the engine is left in
+// an undefined state and must be discarded.
+func (e *Engine) Reprice(c *compiler.Compiled) error {
+	e.tr = nil
+	return e.configure(c)
+}
+
+// configure (re)builds the engine's stages, routes, binding and scratch
+// from a compilation, reusing prior allocations where shapes allow.
+func (e *Engine) configure(c *compiler.Compiled) error {
+	s := e.sim
 	res, costs, err := s.price(c)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	spec, err := c.Design.Spec()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cfg := spec.EffectiveArch(s.cfg)
 	mesh, err := s.designMesh(spec, cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(costs) == 0 {
-		return nil, fmt.Errorf("sim: program has no pipeline stages")
+		return fmt.Errorf("sim: program has no pipeline stages")
 	}
 	pl := c.Placement
 	if pl == nil {
 		// Pre-placement-IR compilations: derive the legacy greedy layout
 		// from the allocation.
 		if pl, err = fallbackPlacement(c, cfg); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := pl.Validate(cfg); err != nil {
-		return nil, err
+		return err
 	}
 	if len(pl.Layers) != len(costs) {
-		return nil, fmt.Errorf("sim: %d pipeline stages but %d placed layers", len(costs), len(pl.Layers))
+		return fmt.Errorf("sim: %d pipeline stages but %d placed layers", len(costs), len(pl.Layers))
 	}
-	e := &Engine{res: res, mesh: mesh, placement: pl, fb: newFabricClock()}
-	e.stages = make([]engineStage, len(costs))
+	e.res, e.mesh, e.placement = res, mesh, pl
+	if e.lb == nil {
+		e.lb = newLinkBuilder(mesh, cfg)
+	} else {
+		e.lb.mesh, e.lb.cfg = mesh, cfg
+	}
+	lb := e.lb
+	if cap(e.stages) < len(costs) {
+		st := make([]engineStage, len(costs))
+		copy(st, e.stages)
+		e.stages = st
+	} else {
+		e.stages = e.stages[:len(costs)]
+	}
 	for i, sc := range costs {
-		st := engineStage{
-			name:      sc.name,
-			serviceNs: sc.serviceNs,
-			sendLatNs: sc.sendLatNs,
-			tiles:     pl.GlobalTiles(i, cfg),
-		}
+		st := &e.stages[i]
+		st.name = sc.name
+		st.serviceNs = sc.serviceNs
+		st.sendLatNs = sc.sendLatNs
+		st.sendSerNs, st.chipSerNs = 0, 0
+		st.tiles = pl.GlobalTiles(i, cfg)
+		st.links = st.links[:0]
+		st.chipPorts = st.chipPorts[:0]
+		st.bulk = st.bulk[:0]
+		st.conflicts = st.conflicts[:0]
 		if sc.sendBytes > 0 {
 			st.sendSerNs = mesh.SerializationNs(sc.sendBytes)
 			st.chipSerNs = mesh.ChipHopNs
 			srcChip, srcTile := pl.Layers[i].Anchor()
 			// Forward route: anchor to the consumer's anchor (or the host
 			// through the egress corner after the last stage).
-			lb := newLinkBuilder(mesh, cfg)
+			lb.reset()
 			dstChip, dstTile := -1, 0
 			if i+1 < len(costs) {
 				dstChip, dstTile = pl.Layers[i+1].Anchor()
 			}
 			if err := lb.addRoute(srcChip, srcTile, dstChip, dstTile); err != nil {
-				return nil, err
+				return err
 			}
-			st.links, st.chipPorts = lb.build()
+			st.links = append(st.links, lb.links...)
+			st.chipPorts = append(st.chipPorts, lb.ports...)
 			// Bulk drain traffic: one gather per non-anchor tile of this
 			// stage (each carries its slice of the output) and one
 			// scatter per tile of the consumer (the activation is
@@ -291,15 +549,23 @@ func (s *Simulator) NewEngine(c *compiler.Compiled) (*Engine, error) {
 			nTiles := len(st.tiles)
 			gatherSer := mesh.SerializationNs((sc.sendBytes + int64(nTiles) - 1) / int64(nTiles))
 			addBulk := func(sc2, st2, dc, dt int, ser float64) error {
-				b := newLinkBuilder(mesh, cfg)
-				if err := b.addRoute(sc2, st2, dc, dt); err != nil {
+				lb.reset()
+				if err := lb.addRoute(sc2, st2, dc, dt); err != nil {
 					return err
 				}
-				links, ports := b.build()
-				if len(links)+len(ports) == 0 {
+				if len(lb.links)+len(lb.ports) == 0 {
 					return nil
 				}
-				st.bulk = append(st.bulk, bulkXfer{links: links, ports: ports, serNs: ser})
+				n := len(st.bulk)
+				if n < cap(st.bulk) {
+					st.bulk = st.bulk[:n+1]
+				} else {
+					st.bulk = append(st.bulk, bulkXfer{})
+				}
+				bx := &st.bulk[n]
+				bx.links = append(bx.links[:0], lb.links...)
+				bx.ports = append(bx.ports[:0], lb.ports...)
+				bx.serNs = ser
 				return nil
 			}
 			for _, sh := range pl.Layers[i].Shards {
@@ -308,7 +574,7 @@ func (s *Simulator) NewEngine(c *compiler.Compiled) (*Engine, error) {
 						continue
 					}
 					if err := addBulk(sh.Chip, t, srcChip, srcTile, gatherSer); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
@@ -319,37 +585,52 @@ func (s *Simulator) NewEngine(c *compiler.Compiled) (*Engine, error) {
 							continue
 						}
 						if err := addBulk(dstChip, dstTile, sh.Chip, t, st.sendSerNs); err != nil {
-							return nil, err
+							return err
 						}
 					}
 				}
 			}
 		}
-		e.stages[i] = st
 	}
 	// Stages whose tile footprints overlap (the greedy allocator packs
 	// layer boundaries into shared tiles) cannot compute concurrently.
+	if e.tileScratch == nil {
+		e.tileScratch = map[int]bool{}
+	}
 	for i := range e.stages {
-		ti := map[int]bool{}
+		clear(e.tileScratch)
 		for _, t := range e.stages[i].tiles {
-			ti[t] = true
+			e.tileScratch[t] = true
 		}
 		for j := range e.stages {
 			if i == j {
 				continue
 			}
 			for _, t := range e.stages[j].tiles {
-				if ti[t] {
+				if e.tileScratch[t] {
 					e.stages[i].conflicts = append(e.stages[i].conflicts, j)
 					break
 				}
 			}
 		}
 	}
-	e.tileFree = make([]float64, len(e.stages))
-	e.busyNs = make([]float64, len(e.stages))
-	e.drainReady = make([]float64, len(e.stages))
-	return e, nil
+	e.tileFree = growF64(e.tileFree, len(e.stages))
+	e.busyNs = growF64(e.busyNs, len(e.stages))
+	e.drainReady = growF64(e.drainReady, len(e.stages))
+	e.bindTo(e.fb, &e.priv)
+	e.fb.seal(&e.priv)
+	// The steady-state bottleneck is a static property of the stages and
+	// routes; computing it here keeps snapshot allocation-free.
+	e.bneckNs, e.bneckName = e.bottleneck()
+	return nil
+}
+
+// growF64 resizes a scratch slice to n, reusing capacity.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // fallbackPlacement reconstructs the greedy layout from a compilation's
@@ -366,7 +647,9 @@ func fallbackPlacement(c *compiler.Compiled, cfg arch.Config) (*compiler.Placeme
 }
 
 // linkBuilder accumulates the deduplicated link and chip-port sets of
-// one stage's transfers, in first-seen order for determinism.
+// one stage's transfers, in first-seen order for determinism. One
+// builder is reused across all of an engine's routes (reset between
+// transfers).
 type linkBuilder struct {
 	mesh  noc.Config
 	cfg   arch.Config
@@ -378,6 +661,13 @@ type linkBuilder struct {
 
 func newLinkBuilder(mesh noc.Config, cfg arch.Config) *linkBuilder {
 	return &linkBuilder{mesh: mesh, cfg: cfg, seenL: map[linkKey]bool{}, seenP: map[int]bool{}}
+}
+
+func (lb *linkBuilder) reset() {
+	clear(lb.seenL)
+	clear(lb.seenP)
+	lb.links = lb.links[:0]
+	lb.ports = lb.ports[:0]
 }
 
 func (lb *linkBuilder) addLinks(node int, route []noc.Link) {
@@ -427,8 +717,6 @@ func (lb *linkBuilder) addRoute(srcChip, srcTile, dstChip, dstTile int) error {
 	return nil
 }
 
-func (lb *linkBuilder) build() ([]linkKey, []int) { return lb.links, lb.ports }
-
 // Result returns the embedded single-inference pricing (bit-identical
 // to Simulator.Run on the same compilation).
 func (e *Engine) Result() *Result { return e.res }
@@ -476,6 +764,15 @@ type BatchResult struct {
 	Stages []StageOccupancy
 }
 
+// Clone deep-copies a result. RunBatch/RunBatches results are
+// engine-owned and recycled by the engine's next run; callers that
+// retain one past that point (caches, reports) must keep a Clone.
+func (br *BatchResult) Clone() *BatchResult {
+	cp := *br
+	cp.Stages = append([]StageOccupancy(nil), br.Stages...)
+	return &cp
+}
+
 // resetLocal clears the engine-owned scheduling state (tile clocks,
 // busy accounting, drain back-pressure); the fabric clock is reset by
 // whoever owns it — the engine itself for isolated runs, the EngineSet
@@ -492,20 +789,16 @@ func (e *Engine) resetLocal() {
 	}
 }
 
-// resetRun clears the per-run scheduling state.
-func (e *Engine) resetRun() {
-	e.resetLocal()
-	e.fb.reset()
-}
-
 // runSample schedules one sample through every stage against the given
-// fabric clock and returns its completion time. Deterministic greedy
-// list scheduling: the forward transfer books the earliest window in
-// which every link and chip port on its route is simultaneously free;
-// bulk drain traffic books on its own channel and back-pressures the
-// stage's next sample instead of blocking this one.
-func (e *Engine) runSample(fb *fabricClock) float64 {
+// binding's fabric clock and returns its completion time. Deterministic
+// greedy list scheduling: the forward transfer books the earliest
+// window in which every link and chip port on its route is
+// simultaneously free; bulk drain traffic books on its own channel and
+// back-pressures the stage's next sample instead of blocking this one.
+func (e *Engine) runSample(bd *binding) float64 {
 	t := 0.0 // completion time of the previous stage for this sample
+	fwd := &bd.fb.fwd.cal
+	bulk := &bd.fb.bulk.cal
 	tr := e.tr
 	var seq int64
 	if tr != nil {
@@ -514,6 +807,7 @@ func (e *Engine) runSample(fb *fabricClock) float64 {
 	}
 	for si := range e.stages {
 		st := &e.stages[si]
+		bs := &bd.st[si]
 		// Back-pressure: the tiles' drain of the previous sample must
 		// finish before they take the next one.
 		start := math.Max(math.Max(t, e.tileFree[si]), e.drainReady[si])
@@ -527,8 +821,8 @@ func (e *Engine) runSample(fb *fabricClock) float64 {
 			tr.traceStage(si, seq, start, st.serviceNs)
 		}
 		sendStart := computeDone
-		if len(st.links)+len(st.chipPorts) > 0 {
-			sendStart = fb.fwd.bookXfer(computeDone, st.links, st.chipPorts, st.sendSerNs, st.chipSerNs)
+		if len(bs.fwdLinks)+len(bs.fwdPorts) > 0 {
+			sendStart = fwd.bookXfer(computeDone, bs.fwdLinks, bs.fwdPorts, st.sendSerNs, st.chipSerNs)
 			if tr != nil {
 				tr.traceXfer(si, seq, computeDone, sendStart, st.sendSerNs, st.chipSerNs,
 					st.links, st.chipPorts, tr.fwdLink, tr.fwdPort, tr.waitNm)
@@ -536,12 +830,14 @@ func (e *Engine) runSample(fb *fabricClock) float64 {
 		}
 		e.linkWaitNs += sendStart - computeDone
 		drainEnd := computeDone
-		for _, bt := range st.bulk {
-			bs := fb.bulk.bookXfer(computeDone, bt.links, bt.ports, bt.serNs, st.chipSerNs)
-			e.linkWaitNs += bs - computeDone
-			drainEnd = math.Max(drainEnd, bs+bt.serNs)
+		for bi := range bs.bulk {
+			bx := &bs.bulk[bi]
+			bsStart := bulk.bookXfer(computeDone, bx.links, bx.ports, bx.serNs, st.chipSerNs)
+			e.linkWaitNs += bsStart - computeDone
+			drainEnd = math.Max(drainEnd, bsStart+bx.serNs)
 			if tr != nil {
-				tr.traceXfer(si, seq, computeDone, bs, bt.serNs, st.chipSerNs,
+				bt := &st.bulk[bi]
+				tr.traceXfer(si, seq, computeDone, bsStart, bt.serNs, st.chipSerNs,
 					bt.links, bt.ports, tr.bulkLink, tr.bulkPort, tr.drainNm)
 			}
 		}
@@ -554,22 +850,37 @@ func (e *Engine) runSample(fb *fabricClock) float64 {
 	return t
 }
 
-// snapshot assembles a BatchResult for the first b samples of the
-// current run (makespan = completion time of sample b-1).
-func (e *Engine) snapshot(b int, makespan float64) *BatchResult {
-	out := &BatchResult{
-		ModelName:            e.res.ModelName,
-		Design:               e.res.Design,
-		Batch:                b,
-		LatencyNs:            e.res.LatencyNs,
-		MakespanNs:           makespan,
-		ThroughputPerSec:     float64(b) * 1e9 / makespan,
-		LinkWaitNs:           e.linkWaitNs,
-		EnergyPJPerInference: e.res.EnergyPJ(),
+// takeResult hands out the next pooled BatchResult of the current run.
+func (e *Engine) takeResult() *BatchResult {
+	if e.resUsed < len(e.results) {
+		r := e.results[e.resUsed]
+		e.resUsed++
+		return r
 	}
-	out.BottleneckNs, out.BottleneckName = e.bottleneck()
+	r := &BatchResult{}
+	e.results = append(e.results, r)
+	e.resUsed++
+	return r
+}
+
+// snapshot assembles a BatchResult for the first b samples of the
+// current run (makespan = completion time of sample b-1). The result
+// comes from the engine's pool: valid until the next run.
+func (e *Engine) snapshot(b int, makespan float64) *BatchResult {
+	out := e.takeResult()
+	out.ModelName = e.res.ModelName
+	out.Design = e.res.Design
+	out.Batch = b
+	out.LatencyNs = e.res.LatencyNs
+	out.MakespanNs = makespan
+	out.ThroughputPerSec = float64(b) * 1e9 / makespan
+	out.LinkWaitNs = e.linkWaitNs
+	out.EnergyPJPerInference = e.res.EnergyPJ()
+	out.BottleneckNs, out.BottleneckName = e.bneckNs, e.bneckName
 	out.SteadyStatePerSec = 1e9 / out.BottleneckNs
-	for si, st := range e.stages {
+	out.Stages = out.Stages[:0]
+	for si := range e.stages {
+		st := &e.stages[si]
 		out.Stages = append(out.Stages, StageOccupancy{
 			Name:      st.name,
 			ServiceNs: st.serviceNs,
@@ -583,13 +894,16 @@ func (e *Engine) snapshot(b int, makespan float64) *BatchResult {
 
 // RunBatch streams a batch of b inferences through the pipeline and
 // returns the timing report. Deterministic: same engine, same b, same
-// result.
+// result. The result is engine-owned (recycled by the next run); Clone
+// it to retain. Steady-state RunBatch performs zero allocations
+// (pinned by TestRunBatchZeroAlloc).
 func (e *Engine) RunBatch(b int) (*BatchResult, error) {
-	rs, err := e.RunBatches([]int{b})
-	if err != nil {
+	e.bsScratch[0] = b
+	e.brScratch[0] = nil
+	if err := e.runBatches(e.bsScratch[:], e.brScratch[:]); err != nil {
 		return nil, err
 	}
-	return rs[0], nil
+	return e.brScratch[0], nil
 }
 
 // RunBatches sweeps several batch sizes in ONE schedule pass: the
@@ -597,35 +911,48 @@ func (e *Engine) RunBatch(b int) (*BatchResult, error) {
 // is a snapshot of the maxB-sample run after sample b. Results are
 // bit-identical to calling RunBatch per size (pinned by tests) at a
 // fraction of the cost — the throughput sweep used to re-run the whole
-// schedule per batch size.
+// schedule per batch size. Results are engine-owned; Clone to retain
+// past the next run.
 func (e *Engine) RunBatches(bs []int) ([]*BatchResult, error) {
+	out := make([]*BatchResult, len(bs))
+	if err := e.runBatches(bs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runBatches is the shared scheduling core: out[i] receives the
+// snapshot after bs[i] samples (duplicated sizes share one snapshot).
+func (e *Engine) runBatches(bs []int, out []*BatchResult) error {
 	if len(bs) == 0 {
-		return nil, fmt.Errorf("sim: no batch sizes given")
+		return fmt.Errorf("sim: no batch sizes given")
 	}
 	maxB := 0
 	for _, b := range bs {
 		if b < 1 {
-			return nil, fmt.Errorf("sim: batch size %d must be ≥ 1", b)
+			return fmt.Errorf("sim: batch size %d must be ≥ 1", b)
 		}
 		maxB = max(maxB, b)
 	}
-	want := make(map[int][]int, len(bs)) // batch size → result indices
-	for i, b := range bs {
-		want[b] = append(want[b], i)
-	}
-	out := make([]*BatchResult, len(bs))
-	e.resetRun()
+	e.resUsed = 0
+	e.resetLocal()
+	e.fb.ensure(maxB)
+	e.fb.reset()
 	for sample := 0; sample < maxB; sample++ {
-		t := e.runSample(e.fb)
-		if idxs, ok := want[sample+1]; ok {
-			r := e.snapshot(sample+1, t)
-			for _, i := range idxs {
-				out[i] = r
+		t := e.runSample(&e.priv)
+		var snap *BatchResult
+		for i, b := range bs {
+			if b != sample+1 {
+				continue
 			}
-			e.traceMeta(sample+1, t)
+			if snap == nil {
+				snap = e.snapshot(b, t)
+				e.traceMeta(b, t)
+			}
+			out[i] = snap
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // bottleneck finds the resource with the largest per-sample busy time:

@@ -160,10 +160,11 @@ func TestEngineDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := e1.RunBatch(32)
+	a0, err := e1.RunBatch(32)
 	if err != nil {
 		t.Fatal(err)
 	}
+	a := a0.Clone() // results are engine-owned: retain across runs via Clone
 	if _, err := e1.RunBatch(7); err != nil { // dirty the scratch
 		t.Fatal(err)
 	}

@@ -17,13 +17,29 @@ import (
 // the isolated baseline — the co-location interference the per-model
 // engines cannot see — plus a Jain fairness index over the normalized
 // rates.
+//
+// Like Engine, a set is built for reuse: Swap re-prices one slot with
+// a new candidate compilation (the coordinate-descent move of
+// SetEvaluator) without rebuilding the other engines, and the isolated
+// baselines — which do not depend on the neighbours at all — are cached
+// per slot until the slot or the batch size changes.
 
 // EngineSet schedules co-located models. Build with NewEngineSet; like
 // Engine, a set carries run scratch and is not safe for concurrent
 // RunSet calls.
 type EngineSet struct {
 	engines []*Engine
+	design  arch.Design
 	fb      *fabricClock
+	binds   []binding  // per-engine bindings to the shared clock
+	bindPs  []*binding // the same bindings, for variadic reseal
+	// iso caches the isolated per-model baselines (cloned — engine
+	// results are recycled): invalidated per slot by Swap, wholesale by
+	// a batch-size change.
+	iso  []*BatchResult
+	isoB int
+	// run scratch.
+	fill, mk []float64
 }
 
 // Engines exposes the per-model engines (isolated pricing, ceilings).
@@ -36,11 +52,10 @@ func (s *Simulator) NewEngineSet(cs []*compiler.Compiled) (*EngineSet, error) {
 	if len(cs) == 0 {
 		return nil, fmt.Errorf("sim: engine set needs at least one compilation")
 	}
-	es := &EngineSet{fb: newFabricClock()}
-	design := cs[0].Design
+	es := &EngineSet{fb: newFabricClock(), design: cs[0].Design}
 	for _, c := range cs {
-		if c.Design != design {
-			return nil, fmt.Errorf("sim: engine set mixes designs %v and %v (one fabric, one design)", design, c.Design)
+		if c.Design != es.design {
+			return nil, fmt.Errorf("sim: engine set mixes designs %v and %v (one fabric, one design)", es.design, c.Design)
 		}
 		e, err := s.NewEngine(c)
 		if err != nil {
@@ -48,18 +63,58 @@ func (s *Simulator) NewEngineSet(cs []*compiler.Compiled) (*EngineSet, error) {
 		}
 		es.engines = append(es.engines, e)
 	}
-	// Tile disjointness: co-located models must not share compute tiles.
-	owner := map[int]string{}
+	n := len(es.engines)
+	es.binds = make([]binding, n)
+	es.iso = make([]*BatchResult, n)
+	es.fill = make([]float64, n)
+	es.mk = make([]float64, n)
 	for i, e := range es.engines {
-		for _, t := range e.tileSet() {
-			if prev, ok := owner[t]; ok {
-				return nil, fmt.Errorf("sim: models %s and %s both occupy tile %d (regions must be disjoint)",
-					prev, cs[i].ModelName, t)
-			}
-			owner[t] = cs[i].ModelName
-		}
+		e.bindTo(es.fb, &es.binds[i])
+		es.bindPs = append(es.bindPs, &es.binds[i])
+	}
+	es.fb.seal(es.bindPs...)
+	if err := es.checkDisjoint(); err != nil {
+		return nil, err
 	}
 	return es, nil
+}
+
+// checkDisjoint enforces that co-located models do not share compute
+// tiles.
+func (es *EngineSet) checkDisjoint() error {
+	owner := map[int]string{}
+	for _, e := range es.engines {
+		for _, t := range e.tileSet() {
+			if prev, ok := owner[t]; ok {
+				return fmt.Errorf("sim: models %s and %s both occupy tile %d (regions must be disjoint)",
+					prev, e.res.ModelName, t)
+			}
+			owner[t] = e.res.ModelName
+		}
+	}
+	return nil
+}
+
+// Swap re-prices slot idx with a new compilation of the same design,
+// reusing the slot's engine and the shared calendars — the cheap path
+// for evaluating many candidate placements of one model against fixed
+// neighbours. The slot's isolated baseline is invalidated; the
+// neighbours' stay cached. On error the set is left in an undefined
+// state and must be discarded.
+func (es *EngineSet) Swap(idx int, c *compiler.Compiled) error {
+	if idx < 0 || idx >= len(es.engines) {
+		return fmt.Errorf("sim: swap slot %d outside set of %d", idx, len(es.engines))
+	}
+	if c.Design != es.design {
+		return fmt.Errorf("sim: engine set mixes designs %v and %v (one fabric, one design)", es.design, c.Design)
+	}
+	if err := es.engines[idx].Reprice(c); err != nil {
+		return fmt.Errorf("sim: %s: %w", c.ModelName, err)
+	}
+	es.engines[idx].bindTo(es.fb, &es.binds[idx])
+	es.fb.seal(es.bindPs...)
+	es.iso[idx] = nil
+	return es.checkDisjoint()
 }
 
 // SetModelResult is one co-located model's view of a RunSet.
@@ -119,9 +174,17 @@ func (es *EngineSet) RunSet(b int) (*SetResult, error) {
 	}
 	// Isolated baselines first (each on a private fabric clock). These
 	// run untraced — the exported timeline is the co-located schedule,
-	// not three schedules overlaid on the same time axis.
-	iso := make([]*BatchResult, len(es.engines))
+	// not three schedules overlaid on the same time axis. The baselines
+	// are independent of the neighbours, so they are cached (cloned)
+	// until their slot is swapped or the batch size changes.
+	if es.isoB != b {
+		clear(es.iso)
+		es.isoB = b
+	}
 	for i, e := range es.engines {
+		if es.iso[i] != nil {
+			continue
+		}
 		tr := e.tr
 		e.tr = nil
 		br, err := e.RunBatch(b)
@@ -129,18 +192,19 @@ func (es *EngineSet) RunSet(b int) (*SetResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		iso[i] = br
+		es.iso[i] = br.Clone()
 	}
+	iso := es.iso
 	// Co-located run against the shared clock.
+	es.fb.ensure(b)
 	es.fb.reset()
 	for _, e := range es.engines {
 		e.resetLocal()
 	}
-	fill := make([]float64, len(es.engines))
-	mk := make([]float64, len(es.engines))
+	fill, mk := es.fill, es.mk
 	for sample := 0; sample < b; sample++ {
 		for i, e := range es.engines {
-			t := e.runSample(es.fb)
+			t := e.runSample(&es.binds[i])
 			if sample == 0 {
 				fill[i] = t
 			}

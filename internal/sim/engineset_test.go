@@ -206,6 +206,11 @@ func TestRunBatchesBitIdenticalToRunBatch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The per-size RunBatch calls below recycle the engine's pooled
+			// results, so the sweep's must be retained as clones.
+			for i := range swept {
+				swept[i] = swept[i].Clone()
+			}
 			for i, b := range bs {
 				single, err := eng.RunBatch(b)
 				if err != nil {
